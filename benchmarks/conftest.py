@@ -1,0 +1,13 @@
+"""Benchmark fixtures: everything runs at the 'tiny' dataset scale.
+
+``pytest benchmarks/ --benchmark-only`` times one representative unit of
+every paper experiment; the full tables/figures are produced by
+``python -m repro.experiments.run_all`` (scale 'small').
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return "tiny"

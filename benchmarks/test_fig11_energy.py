@@ -1,0 +1,20 @@
+"""Benchmark Fig. 11: energy comparison over a reduced app set."""
+
+from repro.experiments import fig11_energy, table3_runtime
+
+
+def test_fig11_energy(benchmark, scale):
+    def work():
+        cells = table3_runtime.run(scale, apps=["3-CF"], graphs=["p2p", "mico"])
+        return fig11_energy.run_energy(scale, cells=cells)
+
+    rows = benchmark(work)
+    for row in rows:
+        # GRAMER saves energy against both baselines, as in Fig. 11a.
+        assert row.get("fractal_min", 1.0) > 1.0
+
+
+def test_fig11_preprocessing(benchmark, scale):
+    rows = benchmark(lambda: fig11_energy.run_total_time(scale, app="3-CF"))
+    for row in rows:
+        assert 0.0 <= row["preproc_fraction"] < 1.0

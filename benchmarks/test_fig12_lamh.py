@@ -1,0 +1,18 @@
+"""Benchmark Fig. 12: the three memory-hierarchy variants on one app."""
+
+from repro.experiments import fig12_lamh
+
+
+def test_fig12_lamh_variants(benchmark, scale):
+    # 4-MC: the deep workload where the extension locality builds up and
+    # the paper's vertex-side ordering is robust at proxy scale.
+    rows = benchmark(lambda: fig12_lamh.run(scale, apps=["4-MC"]))
+    by_variant = {r["variant"]: r for r in rows}
+    assert (
+        by_variant["LAMH"]["vertex_hit"]
+        >= by_variant["Static + LRU"]["vertex_hit"] - 0.02
+    )
+    assert (
+        by_variant["Static + LRU"]["vertex_hit"]
+        > by_variant["Uniform LRU"]["vertex_hit"]
+    )

@@ -1,0 +1,21 @@
+"""Benchmark Fig. 13: slot sweep and work stealing on one graph."""
+
+from repro.experiments import fig13_pipeline
+
+
+def test_fig13_slot_sweep(benchmark, scale):
+    rows = benchmark(
+        lambda: fig13_pipeline.run_slot_sweep(scale, graphs=["mico"])
+    )
+    speedup = rows[0]["speedup"]
+    # More slots never hurt, and 16 slots is clearly above 1.
+    assert speedup[16] >= speedup[4] >= speedup[1] == 1.0
+    assert speedup[16] > 1.5
+
+
+def test_fig13_work_stealing(benchmark, scale):
+    rows = benchmark(
+        lambda: fig13_pipeline.run_work_stealing(scale, graphs=["mico"])
+    )
+    assert rows[0]["speedup"] > 1.0
+    assert rows[0]["steals"] > 0

@@ -1,0 +1,22 @@
+"""Benchmark Fig. 14: tau and lambda sensitivity on one graph."""
+
+from repro.experiments import fig14_sensitivity
+
+
+def test_fig14_tau_sweep(benchmark, scale):
+    rows = benchmark(
+        lambda: fig14_sensitivity.run_tau_sweep(scale, graphs=["p2p"])
+    )
+    normalized = rows[0]["normalized"]
+    # Performance improves monotonically-ish toward tau = 50% (Fig. 14a).
+    assert normalized[0.50] == 1.0
+    assert normalized[0.01] < normalized[0.20] <= 1.05
+
+
+def test_fig14_lambda_sweep(benchmark, scale):
+    rows = benchmark(
+        lambda: fig14_sensitivity.run_lambda_sweep(scale, graphs=["p2p"])
+    )
+    normalized = rows[0]["normalized"]
+    # The paper's point: lambda barely matters (0.91x-1.07x).
+    assert all(0.8 < v < 1.25 for v in normalized.values())

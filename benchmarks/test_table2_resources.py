@@ -1,0 +1,11 @@
+"""Benchmark Table II: the resource model."""
+
+from repro.experiments import table2_resources
+
+
+def test_table2_resource_model(benchmark):
+    rows = benchmark(table2_resources.run)
+    assert len(rows) == 3
+    for row in rows:
+        assert abs(row["lut"] - row["paper_lut"]) < 0.01
+        assert abs(row["bram"] - row["paper_bram"]) < 0.01

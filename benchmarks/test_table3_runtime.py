@@ -1,0 +1,15 @@
+"""Benchmark Table III: one full three-system cell (3-CF on mico)."""
+
+from repro.experiments import table3_runtime
+
+
+def test_table3_cell(benchmark, scale):
+    cells = benchmark(
+        lambda: table3_runtime.run(scale, apps=["3-CF"], graphs=["mico"])
+    )
+    rows = table3_runtime.speedup_rows(cells)
+    assert len(rows) == 1
+    row = rows[0]
+    # GRAMER wins the cell, as in every Table III row.
+    assert row["speedup_vs_fractal"] > 1.0
+    assert row["speedup_vs_rstream"] > 1.0

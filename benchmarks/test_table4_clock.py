@@ -1,0 +1,14 @@
+"""Benchmark Table IV: the clock-rate model grid."""
+
+from repro.experiments import table4_clock
+
+
+def test_table4_clock_grid(benchmark):
+    rows = benchmark(table4_clock.run)
+    by_design = {r["design"]: r["model"] for r in rows}
+    for app in ("CF", "FSM", "MC"):
+        assert (
+            by_design["w/o AB"][app]
+            < by_design["w/ AB"][app]
+            < by_design["w/ AB + Compaction"][app]
+        )

@@ -1,0 +1,73 @@
+"""Subgraph matching and the mining-vs-processing access contrast.
+
+Counts embeddings of specific target patterns (diamond, 4-cycle, tailed
+triangle) with the pattern-pruned matcher, then contrasts the memory-access
+mix of mining against classic vertex-centric processing (BFS / PageRank) on
+the same graph — the comparison motivating the paper's §II-B.
+
+Run with::
+
+    python examples/pattern_matching.py
+"""
+
+from repro.graph import powerlaw_cluster
+from repro.locality import StrideClassifier
+from repro.mining import MotifCounting, run_dfs
+from repro.mining.apps import SubgraphMatching
+from repro.mining.patterns import canonical_code, pattern_name
+from repro.processing import BreadthFirstSearch, PageRank, run_vertex_program
+
+TARGETS = {
+    "4-cycle": [(0, 1), (1, 2), (2, 3), (3, 0)],
+    "tailed-triangle": [(0, 1), (1, 2), (0, 2), (2, 3)],
+    "diamond": [(0, 1), (1, 2), (0, 2), (0, 3), (2, 3)],
+}
+
+
+def main() -> None:
+    graph = powerlaw_cluster(1_000, 4, 0.5, seed=13, max_degree=40)
+    print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges\n")
+
+    # Pattern-pruned matching vs the full 4-motif census.
+    census_app = run_dfs(graph, MotifCounting(4))
+    census = census_app.named_census()
+    print(f"{'pattern':16s} {'matches':>9s} {'census':>9s} "
+          f"{'candidates':>11s} {'vs census':>10s}")
+    for name, edges in TARGETS.items():
+        target = canonical_code(edges, 4)
+        match = run_dfs(graph, SubgraphMatching(target))
+        assert match.num_matches == census.get(name, 0)
+        print(
+            f"{name:16s} {match.num_matches:>9,} {census.get(name, 0):>9,} "
+            f"{match.candidates_checked:>11,} "
+            f"{match.candidates_checked / census_app.candidates_checked:>9.1%}"
+        )
+    print("\nmatcher counts verified against the motif census ✓")
+
+    # The §II-B contrast: where do the random accesses fall?
+    print(f"\n{'workload':12s} {'random vertex':>14s} {'random edge':>12s}")
+    workloads = [
+        ("BFS", lambda m: run_vertex_program(
+            graph, BreadthFirstSearch(0), mem=m)),
+        ("PageRank", lambda m: run_vertex_program(
+            graph, PageRank(tolerance=1e-3), mem=m)),
+        ("3-MC", lambda m: run_dfs(graph, MotifCounting(3), mem=m)),
+        ("4-cycle SM", lambda m: run_dfs(
+            graph, SubgraphMatching(canonical_code(TARGETS["4-cycle"], 4)),
+            mem=m)),
+    ]
+    for name, runner in workloads:
+        classifier = StrideClassifier()
+        runner(classifier)
+        print(
+            f"{name:12s} {classifier.mix.random_vertex_share:>13.1%} "
+            f"{classifier.mix.random_edge_share:>12.1%}"
+        )
+    print(
+        "\nprocessing randomises only the vertex dimension; "
+        "mining randomises both — the gap GRAMER is built for."
+    )
+
+
+if __name__ == "__main__":
+    main()

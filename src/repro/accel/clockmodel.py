@@ -1,0 +1,105 @@
+"""Analytic clock-rate model (paper Table IV).
+
+The paper synthesizes three pipeline design points:
+
+========================  ====== ====== ======
+Design                      CF    FSM    MC
+========================  ====== ====== ======
+w/o ancestor buffers       80MHz  78MHz  78MHz
+w/ ancestor buffers        97MHz  96MHz  96MHz
+w/ AB + compaction        213MHz 207MHz 207MHz
+========================  ====== ====== ======
+
+There is no synthesis toolchain here, so we model the dominant critical-path
+effect the table demonstrates:
+
+* **w/o ancestor buffers** — the entire ancestor state of every slot
+  (each ancestor's full vertex list, ``depth × (VID + offset)`` bits per
+  record) is forwarded through the pipeline registers; the critical path
+  grows linearly with the forwarded width (wiring/mux fan-in).
+* **w/ ancestor buffers** — the state moves into per-slot buffers; the path
+  becomes a buffer row read whose delay grows with the *row width*, still
+  a whole uncompacted embedding record (``depth × 64`` bits).
+* **w/ compaction** — each record shrinks to one (VID, offset) pair
+  (Fig. 10), so the row is 64 bits wide.
+
+Delay model: ``base + wire_per_bit × forwarded_bits`` for forwarding,
+``base + row_per_bit × row_bits`` for buffer rows.  The three constants are
+calibrated against the CF column of Table IV at the paper's configuration
+(16 slots, depth-16 ancestor buffers); the FSM/MC columns then follow from
+their extra pattern-accumulator state (§VI-A notes MC/FSM "consume slightly
+more resources because they need to enumerate both patterns and
+embeddings").  This is a modeled substitute for synthesis — see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .config import GramerConfig
+
+__all__ = ["ClockModelParams", "clock_rate_mhz", "table4_design_points"]
+
+_RECORD_BITS = 64  # one (VID, offset) pair: 32 + 32 bits
+
+
+@dataclass(frozen=True)
+class ClockModelParams:
+    """Delay constants (ns), calibrated on Table IV's CF column."""
+
+    base_ns: float = 4.316  # extend/check datapath logic depth
+    wire_per_bit_ns: float = 3.122e-5  # forwarding network, per state bit
+    row_per_bit_ns: float = 5.844e-3  # buffer row read, per row bit
+    app_extra_state_bits: dict[str, int] = field(
+        default_factory=lambda: {"CF": 0, "FSM": 32, "MC": 32}
+    )
+
+    def extra_bits(self, app_name: str) -> int:
+        """Pattern-enumeration state carried for an application."""
+        return self.app_extra_state_bits.get(app_name, 0)
+
+
+def clock_rate_mhz(
+    config: GramerConfig,
+    app_name: str = "CF",
+    ancestor_buffers: bool = True,
+    compaction: bool = True,
+    params: ClockModelParams | None = None,
+) -> float:
+    """Predicted clock (MHz) for one design point of Table IV."""
+    if compaction and not ancestor_buffers:
+        raise ValueError("compaction requires ancestor buffers")
+    p = params if params is not None else ClockModelParams()
+    extra = p.extra_bits(app_name)
+    depth = config.ancestor_depth
+    full_record_bits = depth * _RECORD_BITS  # uncompacted: all vertices
+    if not ancestor_buffers:
+        forwarded = (
+            config.slots_per_pu * depth * full_record_bits
+            + config.slots_per_pu * extra
+        )
+        delay = p.base_ns + p.wire_per_bit_ns * forwarded
+    elif not compaction:
+        delay = p.base_ns + p.row_per_bit_ns * (full_record_bits + extra)
+    else:
+        delay = p.base_ns + p.row_per_bit_ns * (_RECORD_BITS + extra)
+    return 1000.0 / delay
+
+
+def table4_design_points(
+    config: GramerConfig | None = None,
+    params: ClockModelParams | None = None,
+) -> dict[str, dict[str, float]]:
+    """The full Table IV grid: design point -> application -> MHz."""
+    cfg = config if config is not None else GramerConfig()
+    grid: dict[str, dict[str, float]] = {}
+    for label, ab, compact in (
+        ("w/o AB", False, False),
+        ("w/ AB", True, False),
+        ("w/ AB + Compaction", True, True),
+    ):
+        grid[label] = {
+            app: clock_rate_mhz(cfg, app, ab, compact, params)
+            for app in ("CF", "FSM", "MC")
+        }
+    return grid

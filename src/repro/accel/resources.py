@@ -1,0 +1,121 @@
+"""FPGA resource-utilization model (paper Table II).
+
+Estimates LUT / register / BRAM utilization of a GRAMER configuration on
+the paper's part (XCU250: 1.68M LUTs, 3.37M registers, 11.8MB BRAM).  BRAM
+follows directly from the configured on-chip memory plus the per-PU buffers;
+logic is a per-module cost model calibrated so the default configuration
+lands at the paper's ~25% LUT / ~13% register / ~66% BRAM, with FSM/MC
+slightly above CF (their pattern-enumeration datapath).  A modeled
+substitute for synthesis — see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import GramerConfig
+
+__all__ = ["FPGA_XCU250", "FPGAPart", "ResourceReport", "estimate_resources"]
+
+
+@dataclass(frozen=True)
+class FPGAPart:
+    """Available resources of the target FPGA."""
+
+    name: str
+    luts: int
+    registers: int
+    bram_bytes: int
+
+
+FPGA_XCU250 = FPGAPart(
+    name="XCU250-2LFIGD2104E",
+    luts=1_680_000,
+    registers=3_370_000,
+    bram_bytes=int(11.8 * 2**20),
+)
+
+# Per-module logic costs (calibrated against Table II's CF column at the
+# paper configuration; the FSM/MC deltas come from their pattern datapaths).
+_LUTS_PER_PU = 42_489
+_REGS_PER_PU = 43_045
+_LUTS_PER_SLOT = 380
+_REGS_PER_SLOT = 420
+_LUTS_FRONTEND = 38_000  # prefetcher + arbitrator + crossbar + controllers
+_REGS_FRONTEND = 42_000
+_PATTERN_DATAPATH_LUTS = {"CF": 0, "FSM": 294, "MC": 84}
+_PATTERN_DATAPATH_REGS = {"CF": 0, "FSM": 295, "MC": 169}
+_ANCESTOR_RECORD_BYTES = 8  # compacted (VID, offset)
+
+# On-chip graph-memory entries implied by Table II's 65.7% BRAM figure
+# (back-computed: 0.657 × 11.8 MB minus the ancestor buffers, at 8 B/entry).
+PAPER_ONCHIP_ENTRIES = 1_014_000
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Utilization of one configuration on one part."""
+
+    part: FPGAPart
+    luts_used: int
+    registers_used: int
+    bram_bytes_used: int
+    clock_mhz: float
+
+    @property
+    def lut_utilization(self) -> float:
+        """LUTs used / available."""
+        return self.luts_used / self.part.luts
+
+    @property
+    def register_utilization(self) -> float:
+        """Registers used / available."""
+        return self.registers_used / self.part.registers
+
+    @property
+    def bram_utilization(self) -> float:
+        """BRAM bytes used / available."""
+        return self.bram_bytes_used / self.part.bram_bytes
+
+    def as_row(self) -> dict[str, str]:
+        """Table II style row."""
+        return {
+            "LUT": f"{self.lut_utilization:.2%}",
+            "Register": f"{self.register_utilization:.2%}",
+            "BRAM": f"{self.bram_utilization:.2%}",
+            "Clock Rate": f"{self.clock_mhz:.0f}MHz",
+        }
+
+
+def estimate_resources(
+    config: GramerConfig,
+    app_name: str = "CF",
+    part: FPGAPart = FPGA_XCU250,
+) -> ResourceReport:
+    """Estimate Table II's row for ``app_name`` under ``config``."""
+    from .clockmodel import clock_rate_mhz
+
+    pu_luts = config.num_pus * (
+        _LUTS_PER_PU
+        + config.slots_per_pu * _LUTS_PER_SLOT
+        + _PATTERN_DATAPATH_LUTS.get(app_name, 0)
+    )
+    pu_regs = config.num_pus * (
+        _REGS_PER_PU
+        + config.slots_per_pu * _REGS_PER_SLOT
+        + _PATTERN_DATAPATH_REGS.get(app_name, 0)
+    )
+    buffer_bytes = (
+        config.num_pus
+        * config.slots_per_pu
+        * config.ancestor_depth
+        * _ANCESTOR_RECORD_BYTES
+    )
+    bram = config.onchip_bytes + buffer_bytes
+    return ResourceReport(
+        part=part,
+        luts_used=pu_luts + _LUTS_FRONTEND,
+        registers_used=pu_regs + _REGS_FRONTEND,
+        bram_bytes_used=bram,
+        clock_mhz=clock_rate_mhz(config, app_name),
+    )

@@ -1,0 +1,87 @@
+"""Simulation statistics.
+
+Everything the evaluation section reads comes out of :class:`SimStats`:
+cycle counts (Table III / Figs. 13-14), per-level memory hit ratios
+(Fig. 12), access/energy counts (Fig. 11), stall attribution (the GRAMER
+side of Fig. 3's methodology), and load-balance/steal counters (Fig. 13b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimStats"]
+
+
+@dataclass
+class SimStats:
+    """Mutable counters accumulated by one simulation run."""
+
+    cycles: int = 0
+    candidates_checked: int = 0
+    embeddings_accepted: int = 0
+    roots_dispatched: int = 0
+    steals: int = 0
+    steal_attempts: int = 0
+
+    # Memory access counts by (side, level).
+    vertex_high_hits: int = 0
+    vertex_low_hits: int = 0
+    vertex_misses: int = 0
+    edge_high_hits: int = 0
+    edge_low_hits: int = 0
+    edge_misses: int = 0
+
+    # Cycle attribution (summed over slots; overlaps across slots allowed).
+    compute_cycles: int = 0
+    vertex_wait_cycles: int = 0
+    edge_wait_cycles: int = 0
+
+    # Per-PU busy time for load-balance analysis.
+    pu_finish_cycles: list[int] = field(default_factory=list)
+    pu_busy_cycles: list[int] = field(default_factory=list)
+
+    @property
+    def vertex_accesses(self) -> int:
+        """Total vertex-memory requests."""
+        return self.vertex_high_hits + self.vertex_low_hits + self.vertex_misses
+
+    @property
+    def edge_accesses(self) -> int:
+        """Total edge-memory requests."""
+        return self.edge_high_hits + self.edge_low_hits + self.edge_misses
+
+    @property
+    def vertex_hit_ratio(self) -> float:
+        """On-chip hit ratio of the vertex memory (Fig. 12a metric)."""
+        total = self.vertex_accesses
+        return (
+            (self.vertex_high_hits + self.vertex_low_hits) / total
+            if total
+            else 0.0
+        )
+
+    @property
+    def edge_hit_ratio(self) -> float:
+        """On-chip hit ratio of the edge memory (Fig. 12a metric)."""
+        total = self.edge_accesses
+        return (
+            (self.edge_high_hits + self.edge_low_hits) / total if total else 0.0
+        )
+
+    @property
+    def dram_accesses(self) -> int:
+        """Requests that went off-chip."""
+        return self.vertex_misses + self.edge_misses
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max-over-mean PU busy time (1.0 = perfectly balanced)."""
+        if not self.pu_busy_cycles or sum(self.pu_busy_cycles) == 0:
+            return 1.0
+        mean = sum(self.pu_busy_cycles) / len(self.pu_busy_cycles)
+        return max(self.pu_busy_cycles) / mean
+
+    def seconds(self, clock_mhz: float) -> float:
+        """Wall-clock time at the given clock."""
+        return self.cycles / (clock_mhz * 1e6)

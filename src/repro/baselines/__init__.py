@@ -1,0 +1,16 @@
+"""CPU software baselines: cache-hierarchy model, Fractal, RStream."""
+
+from .cpu import CPUConfig, CPUMemory, CPUTimeBreakdown
+from .fractal import FRACTAL_TASK_OVERHEAD_S, BaselineResult, FractalModel
+from .rstream import RSTREAM_STARTUP_OVERHEAD_S, RStreamModel
+
+__all__ = [
+    "CPUConfig",
+    "CPUMemory",
+    "CPUTimeBreakdown",
+    "FRACTAL_TASK_OVERHEAD_S",
+    "BaselineResult",
+    "FractalModel",
+    "RSTREAM_STARTUP_OVERHEAD_S",
+    "RStreamModel",
+]

@@ -1,0 +1,163 @@
+"""Command-line interface.
+
+::
+
+    gramer mine --graph edges.txt --app 3-CF
+    gramer mine --dataset mico --app 4-MC --scale small
+    gramer simulate --dataset p2p --app 5-CF --slots 16
+    gramer experiment --only table3 fig12 --scale small
+    gramer datasets
+
+(``gramer`` is the console script; ``python -m repro.cli`` works too.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.accel.energy import gramer_energy
+from repro.accel.sim import GramerSimulator
+from repro.graph.io import load_edge_list
+from repro.graph.stats import degree_stats
+from repro.mining.apps import make_app
+from repro.mining.engine import run_dfs
+from repro.mining.patterns import pattern_name
+
+__all__ = ["main"]
+
+
+def _resolve_graph(args, needs_labels: bool):
+    from repro.experiments import datasets
+
+    if args.graph:
+        return load_edge_list(args.graph)
+    if args.dataset:
+        if needs_labels:
+            return datasets.load_labeled(args.dataset, args.scale)
+        return datasets.load(args.dataset, args.scale)
+    raise SystemExit("specify --graph FILE or --dataset NAME")
+
+
+def _print_result(result) -> None:
+    print("embeddings by size:")
+    for size, count in sorted(result.embeddings_by_size.items()):
+        print(f"  {size}: {count:,}")
+    for size, patterns in sorted(result.patterns_by_size.items()):
+        print(f"patterns at size {size}:")
+        for code, count in sorted(
+            patterns.items(), key=lambda kv: -kv[1]
+        )[:12]:
+            print(f"  {pattern_name(code):30s} {count:>12,}")
+    if result.summary:
+        print("summary:", result.summary)
+
+
+def _cmd_mine(args) -> None:
+    app = make_app(args.app)
+    graph = _resolve_graph(args, app.needs_labels)
+    print(degree_stats(graph).describe())
+    start = time.perf_counter()
+    run_dfs(graph, app)
+    print(f"mined in {time.perf_counter() - start:.2f}s "
+          f"({app.candidates_checked:,} candidates checked)")
+    _print_result(app.result())
+
+
+def _cmd_simulate(args) -> None:
+    from repro.accel.config import GramerConfig
+
+    app = make_app(args.app)
+    graph = _resolve_graph(args, app.needs_labels)
+    data_entries = graph.num_vertices + len(graph.neighbors)
+    config = GramerConfig(
+        num_pus=args.pus,
+        slots_per_pu=args.slots,
+        onchip_entries=args.onchip_entries or max(64, data_entries // 4),
+        work_stealing=not args.no_stealing,
+    )
+    print(degree_stats(graph).describe())
+    start = time.perf_counter()
+    result = GramerSimulator(graph, config).run(app)
+    stats = result.stats
+    print(
+        f"simulated in {time.perf_counter() - start:.2f}s host time\n"
+        f"cycles {result.cycles:,} -> {result.seconds * 1e3:.3f} ms "
+        f"@ {config.clock_mhz:.0f} MHz\n"
+        f"hit ratios: vertex {stats.vertex_hit_ratio:.3f}, "
+        f"edge {stats.edge_hit_ratio:.3f}; "
+        f"DRAM {stats.dram_accesses:,}; steals {stats.steals:,}\n"
+        f"on-chip energy {gramer_energy(stats, config).total_j * 1e3:.3f} mJ"
+    )
+    _print_result(result.mining)
+
+
+def _cmd_experiment(args) -> None:
+    from repro.experiments.run_all import main as run_all_main
+
+    forwarded = ["--scale", args.scale, "--out", args.out]
+    if args.only:
+        forwarded += ["--only", *args.only]
+    run_all_main(forwarded)
+
+
+def _cmd_datasets(args) -> None:
+    from repro.experiments import datasets
+
+    for name in datasets.DATASET_ORDER:
+        spec = datasets.DATASETS[name]
+        graph = datasets.load(name, args.scale)
+        print(
+            f"{name:9s} ({spec.category:6s}) proxy: "
+            f"{degree_stats(graph).describe()}  "
+            f"[paper: |V|={spec.paper_vertices:,} |E|={spec.paper_edges:,}]"
+        )
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Entry point for the ``gramer`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="gramer", description="GRAMER graph-mining accelerator reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--graph", help="edge-list file to mine")
+    common.add_argument("--dataset", help="proxy dataset name (see `datasets`)")
+    common.add_argument("--scale", default="small",
+                        choices=["tiny", "small", "full"])
+    common.add_argument("--app", default="3-CF",
+                        help="k-CF, k-MC, or FSM-<threshold>")
+
+    mine = sub.add_parser("mine", parents=[common],
+                          help="software mining (exact results)")
+    mine.set_defaults(func=_cmd_mine)
+
+    simulate = sub.add_parser("simulate", parents=[common],
+                              help="cycle-level GRAMER simulation")
+    simulate.add_argument("--pus", type=int, default=8)
+    simulate.add_argument("--slots", type=int, default=16)
+    simulate.add_argument("--onchip-entries", type=int, default=None)
+    simulate.add_argument("--no-stealing", action="store_true")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    experiment = sub.add_parser("experiment",
+                                help="reproduce paper tables/figures")
+    experiment.add_argument("--scale", default="small",
+                            choices=["tiny", "small", "full"])
+    experiment.add_argument("--out", default="results")
+    experiment.add_argument("--only", nargs="*", default=None)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    ds = sub.add_parser("datasets", help="list the dataset proxies")
+    ds.add_argument("--scale", default="small",
+                    choices=["tiny", "small", "full"])
+    ds.set_defaults(func=_cmd_datasets)
+
+    args = parser.parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Experiment harness: dataset registry plus one module per table/figure."""
+
+from . import datasets, harness, paper_data
+
+__all__ = ["datasets", "harness", "paper_data"]

@@ -1,0 +1,117 @@
+"""Fig. 14 — sensitivity to τ (high-priority share) and λ (Eq. 2 balance).
+
+(a) τ from 1% to 50% on the four graphs that fit on-chip at τ = 50%
+(Patents/YT/LJ are excluded for BRAM capacity, as in the paper);
+performance normalised to τ = 50%.  The paper finds τ = 5% already reaches
+72–92% of the ideal.
+(b) λ from 0.5 to 8 on all graphs, normalised to λ = 1; the paper sees
+only 0.91×–1.07× variation.
+"""
+
+from __future__ import annotations
+
+from repro.accel.sim import GramerSimulator
+from repro.memory.hierarchy import default_tau
+
+from . import datasets
+from .harness import build_app, experiment_config, format_table
+from .datasets import DATASET_ORDER
+
+__all__ = ["run_tau_sweep", "run_lambda_sweep", "main", "TAUS", "LAMBDAS"]
+
+TAUS = (0.01, 0.02, 0.05, 0.10, 0.20, 0.50)
+LAMBDAS = (0.5, 1.0, 2.0, 4.0, 8.0)
+TAU_GRAPHS = ["citeseer", "p2p", "astro", "mico"]
+
+
+def run_tau_sweep(
+    scale: str = "small",
+    app_name: str = "5-CF",
+    graphs: list[str] | None = None,
+) -> list[dict]:
+    """Per graph: cycles per τ, normalised to τ = 50%.
+
+    Following §VI-D, the memory is sized so the τ = 50% point holds the
+    whole graph (high = low = 50% of the data): ``total = 2 × τ × data``.
+    """
+    graphs = graphs if graphs is not None else list(TAU_GRAPHS)
+    rows = []
+    for graph_name in graphs:
+        graph = datasets.load(graph_name, scale)
+        data_entries = graph.num_vertices + len(graph.neighbors)
+        cycles = {}
+        for tau in TAUS:
+            app = build_app(app_name, graph_name, scale)
+            config = experiment_config(
+                onchip_entries=2 * data_entries, tau=tau
+            )
+            cycles[tau] = GramerSimulator(graph, config).run(app).cycles
+        rows.append(
+            {
+                "graph": graph_name,
+                "cycles": cycles,
+                "normalized": {
+                    tau: cycles[0.50] / c for tau, c in cycles.items()
+                },
+            }
+        )
+    return rows
+
+
+def run_lambda_sweep(
+    scale: str = "small",
+    app_name: str = "5-CF",
+    graphs: list[str] | None = None,
+) -> list[dict]:
+    """Per graph: cycles per λ, normalised to λ = 1."""
+    graphs = graphs if graphs is not None else list(DATASET_ORDER)
+    rows = []
+    for graph_name in graphs:
+        graph = datasets.load(graph_name, scale)
+        cycles = {}
+        for lam in LAMBDAS:
+            app = build_app(app_name, graph_name, scale)
+            config = experiment_config(lam=lam)
+            cycles[lam] = GramerSimulator(graph, config).run(app).cycles
+        rows.append(
+            {
+                "graph": graph_name,
+                "cycles": cycles,
+                "normalized": {
+                    lam: cycles[1.0] / c for lam, c in cycles.items()
+                },
+            }
+        )
+    return rows
+
+
+def main(scale: str = "small") -> str:
+    """Render both panels of Fig. 14."""
+    tau_rows = run_tau_sweep(scale)
+    tau_table = format_table(
+        ["Graph"] + [f"tau={t:.0%}" for t in TAUS],
+        [
+            [r["graph"]]
+            + [f"{r['normalized'][t]:.2f}" for t in TAUS]
+            for r in tau_rows
+        ],
+    )
+    lam_rows = run_lambda_sweep(scale)
+    lam_table = format_table(
+        ["Graph"] + [f"lambda={l}" for l in LAMBDAS],
+        [
+            [r["graph"]]
+            + [f"{r['normalized'][l]:.2f}" for l in LAMBDAS]
+            for r in lam_rows
+        ],
+    )
+    return (
+        "Fig. 14 (a) performance vs tau, normalised to tau=50% (5-CF)\n"
+        + tau_table
+        + "\n\nFig. 14 (b) performance vs lambda, normalised to lambda=1\n"
+        + lam_table
+    )
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,235 @@
+"""Shared experiment harness.
+
+Every ``figNN_*``/``tableN_*`` module produces plain-dict rows through the
+helpers here: one function runs a (system, app, graph) cell, one formats
+aligned text tables, one serialises results to JSON for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.accel.config import GramerConfig
+from repro.accel.energy import EnergyParams, cpu_energy, gramer_energy
+from repro.accel.sim import GramerSimulator, SimResult
+from repro.baselines.cpu import CPUConfig
+from repro.baselines.fractal import BaselineResult, FractalModel
+from repro.baselines.rstream import RStreamModel
+from repro.graph.csr import CSRGraph
+from repro.mining.apps import make_app
+from repro.mining.apps.base import Application
+
+from . import datasets
+
+__all__ = [
+    "CellResult",
+    "experiment_config",
+    "build_app",
+    "run_gramer_cell",
+    "run_fractal_cell",
+    "run_rstream_cell",
+    "format_table",
+    "format_seconds",
+    "save_results",
+]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One (system, app, graph) measurement."""
+
+    system: str
+    app: str
+    graph: str
+    seconds: float | None  # modeled runtime; None = failed (N/A)
+    energy_j: float | None
+    wall_seconds: float  # host time spent producing the cell
+    detail: dict
+
+
+@dataclass(frozen=True)
+class SystemOverheads:
+    """Fixed per-run costs, scaled with the proxy preset.
+
+    The paper's Table III timing includes each system's fixed costs:
+    GRAMER's "FPGA setup time and data transfer overheads between CPU and
+    FPGA", Fractal's multi-thread task management (Spark setup excluded),
+    and RStream's stream/table initialisation.  The absolute values below
+    are scaled to the proxies so the *ratios* between fixed costs and
+    mining work match the paper's regime (e.g. Citeseer: GRAMER 9.9 ms vs
+    Fractal 150 ms vs RStream 11 ms — overhead-dominated on all three).
+    """
+
+    gramer_setup_s: float
+    fractal_task_s: float
+    rstream_startup_s: float
+    pcie_bandwidth_bytes_per_s: float = 12e9  # PCIe gen3 x16 effective
+
+
+SCALE_OVERHEADS: dict[str, SystemOverheads] = {
+    "tiny": SystemOverheads(1.0e-4, 1.5e-3, 1.2e-4),
+    "small": SystemOverheads(3.0e-4, 4.5e-3, 3.5e-4),
+    "full": SystemOverheads(1.0e-3, 1.5e-2, 1.1e-3),
+}
+
+
+def experiment_config(**overrides) -> GramerConfig:
+    """The default accelerator configuration for all experiments."""
+    base = dict(onchip_entries=datasets.EXPERIMENT_ONCHIP_ENTRIES)
+    base.update(overrides)
+    return GramerConfig(**base)
+
+
+def build_app(app_name: str, graph_name: str, scale: str) -> Application:
+    """Instantiate a Table III application variant for one dataset."""
+    if app_name.upper().startswith("FSM"):
+        threshold = datasets.fsm_threshold(graph_name, scale)
+        return make_app(f"FSM-{threshold}")
+    return make_app(app_name)
+
+
+def _graph_for(app: Application, graph_name: str, scale: str) -> CSRGraph:
+    if app.needs_labels:
+        return datasets.load_labeled(graph_name, scale)
+    return datasets.load(graph_name, scale)
+
+
+def run_gramer_cell(
+    app_name: str,
+    graph_name: str,
+    scale: str = "small",
+    config: GramerConfig | None = None,
+    energy_params: EnergyParams | None = None,
+) -> CellResult:
+    """Simulate GRAMER for one Table III cell."""
+    app = build_app(app_name, graph_name, scale)
+    graph = _graph_for(app, graph_name, scale)
+    cfg = config if config is not None else experiment_config()
+    overheads = SCALE_OVERHEADS[scale]
+    start = time.perf_counter()
+    result: SimResult = GramerSimulator(graph, cfg).run(app)
+    wall = time.perf_counter() - start
+    energy = gramer_energy(result.stats, cfg, energy_params)
+    # Table III's GRAMER time "includes the FPGA setup time and data
+    # transfer overheads between CPU and FPGA" (§VI-B).
+    graph_bytes = (graph.num_vertices + 1 + len(graph.neighbors)) * 8
+    fixed = overheads.gramer_setup_s + (
+        graph_bytes / overheads.pcie_bandwidth_bytes_per_s
+    )
+    # The FPGA burns its static power through the setup/transfer period
+    # too, and the paper's energy comparison spans the same total runtime
+    # its Table III reports — charge it on the same basis.
+    static_w = (energy_params or EnergyParams()).static_w
+    total_energy_j = energy.total_j + static_w * fixed
+    return CellResult(
+        system="GRAMER",
+        app=app_name,
+        graph=graph_name,
+        seconds=result.seconds + fixed,
+        energy_j=total_energy_j,
+        wall_seconds=wall,
+        detail={
+            "cycles": result.cycles,
+            "execution_seconds": result.seconds,
+            "fixed_overhead_seconds": fixed,
+            "vertex_hit_ratio": result.stats.vertex_hit_ratio,
+            "edge_hit_ratio": result.stats.edge_hit_ratio,
+            "steals": result.stats.steals,
+            "embeddings": result.mining.embeddings_by_size,
+            "summary": result.mining.summary,
+        },
+    )
+
+
+def _run_baseline(model, app_name, graph_name, scale) -> CellResult:
+    app = build_app(app_name, graph_name, scale)
+    graph = _graph_for(app, graph_name, scale)
+    start = time.perf_counter()
+    result: BaselineResult = model.run(graph, app)
+    wall = time.perf_counter() - start
+    seconds = result.seconds if result.available else None
+    return CellResult(
+        system=model.name,
+        app=app_name,
+        graph=graph_name,
+        seconds=seconds,
+        energy_j=cpu_energy(seconds) if seconds is not None else None,
+        wall_seconds=wall,
+        detail={
+            "failed": result.failed,
+            "stalls": result.breakdown.stall_fractions(),
+            "embeddings": result.mining.embeddings_by_size,
+            "summary": result.mining.summary,
+        },
+    )
+
+
+def run_fractal_cell(
+    app_name: str,
+    graph_name: str,
+    scale: str = "small",
+    cpu_config: CPUConfig | None = None,
+) -> CellResult:
+    """Run the Fractal-model baseline for one cell."""
+    cfg = cpu_config if cpu_config is not None else datasets.scaled_cpu_config(scale)
+    model = FractalModel(
+        cfg, task_overhead_s=SCALE_OVERHEADS[scale].fractal_task_s
+    )
+    return _run_baseline(model, app_name, graph_name, scale)
+
+
+def run_rstream_cell(
+    app_name: str,
+    graph_name: str,
+    scale: str = "small",
+    cpu_config: CPUConfig | None = None,
+    max_frontier: int = 2_000_000,
+) -> CellResult:
+    """Run the RStream-model baseline for one cell."""
+    cfg = cpu_config if cpu_config is not None else datasets.scaled_cpu_config(scale)
+    model = RStreamModel(
+        cfg,
+        startup_overhead_s=SCALE_OVERHEADS[scale].rstream_startup_s,
+        max_frontier=max_frontier,
+    )
+    return _run_baseline(model, app_name, graph_name, scale)
+
+
+def format_seconds(seconds: float | None) -> str:
+    """Table III style cell: seconds with sensible precision, or N/A."""
+    if seconds is None:
+        return "N/A"
+    if seconds == 0:
+        return "0"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.2f}s"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Plain aligned text table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def save_results(payload: dict, path: str | Path) -> None:
+    """Serialise an experiment's structured results to JSON."""
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)

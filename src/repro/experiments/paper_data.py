@@ -1,0 +1,120 @@
+"""Published numbers from the paper, used for paper-vs-measured reporting.
+
+Transcribed from the MICRO 2020 text: Table III (running times, seconds),
+Table IV (clock rates, MHz), Table II (resource utilization), and the
+headline ranges.  ``None`` encodes the paper's 'N/A' (out of disk) and '-'
+(not finished within 1 hour) cells, matching
+:class:`repro.baselines.fractal.BaselineResult` failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE3_SECONDS",
+    "TABLE3_APPS",
+    "TABLE4_CLOCK_MHZ",
+    "TABLE2_UTILIZATION",
+    "HEADLINE_SPEEDUP_RANGE",
+    "HEADLINE_ENERGY_RANGE",
+    "FIG12_RANGES",
+    "FIG13_WORK_STEALING_RANGE",
+    "paper_speedup",
+]
+
+TABLE3_APPS = ["3-CF", "4-CF", "5-CF", "3-MC", "4-MC", "FSM"]
+
+# {app: {graph: (gramer_s, fractal_s, rstream_s)}}
+TABLE3_SECONDS: dict[str, dict[str, tuple[float | None, float | None, float | None]]] = {
+    "3-CF": {
+        "citeseer": (0.0099, 0.15, 0.011),
+        "p2p": (0.010, 0.19, 0.088),
+        "astro": (0.028, 0.35, 1.56),
+        "mico": (0.11, 1.24, 13.07),
+        "patents": (3.09, 5.56, 62.34),
+        "yt": (13.01, 34.71, 598.10),
+        "lj": (17.81, 48.44, 1188.86),
+    },
+    "4-CF": {
+        "citeseer": (0.010, 0.16, 0.020),
+        "p2p": (0.011, 0.21, 0.10),
+        "astro": (0.27, 1.55, 21.99),
+        "mico": (6.86, 30.64, 891.44),
+        "patents": (3.74, 7.81, 114.78),
+        "yt": (17.30, 65.14, 1301.97),
+        "lj": (30.89, 102.87, 2761.38),
+    },
+    "5-CF": {
+        "citeseer": (0.011, 0.17, 0.023),
+        "p2p": (0.012, 0.23, 0.129),
+        "astro": (1.46, 7.37, 138.57),
+        "mico": (270.41, 1171.47, None),
+        "patents": (4.06, 9.63, 150.53),
+        "yt": (24.27, 97.86, 1970.34),
+        "lj": (52.89, 179.40, None),
+    },
+    "3-MC": {
+        "citeseer": (0.031, 0.72, 0.094),
+        "p2p": (0.033, 0.82, 1.90),
+        "astro": (0.11, 1.48, 11.87),
+        "mico": (0.36, 4.40, None),
+        "patents": (4.17, 24.9, None),
+        "yt": (16.25, 87.98, None),
+        "lj": (29.68, 144.74, None),
+    },
+    "4-MC": {
+        "citeseer": (0.039, 0.95, 0.17),
+        "p2p": (0.093, 1.57, 5.83),
+        "astro": (8.00, 47.28, None),
+        "mico": (45.22, 641.89, None),
+        "patents": (103.82, 778.02, None),
+        "yt": (931.11, None, None),
+        "lj": (1553.87, None, None),
+    },
+    # FSM thresholds: 2K (citeseer..mico), 20K (patents), 250K (yt, lj).
+    "FSM": {
+        "citeseer": (0.021, 0.27, 0.36),
+        "p2p": (0.045, 0.74, 5.56),
+        "astro": (2.27, 17.52, 260.13),
+        "mico": (132.52, 1258.70, None),
+        "patents": (1079.90, None, None),
+        "yt": (297.64, 1617.56, None),
+        "lj": (913.73, None, None),
+    },
+}
+
+# Table IV: design point -> app -> MHz.
+TABLE4_CLOCK_MHZ = {
+    "w/o AB": {"CF": 80.0, "FSM": 78.0, "MC": 78.0},
+    "w/ AB": {"CF": 97.0, "FSM": 96.0, "MC": 96.0},
+    "w/ AB + Compaction": {"CF": 213.0, "FSM": 207.0, "MC": 207.0},
+}
+
+# Table II: app -> {resource: fraction}, plus clock (MHz).
+TABLE2_UTILIZATION = {
+    "CF": {"LUT": 0.2539, "Register": 0.1306, "BRAM": 0.6569, "Clock": 213.0},
+    "FSM": {"LUT": 0.2553, "Register": 0.1313, "BRAM": 0.6570, "Clock": 207.0},
+    "MC": {"LUT": 0.2543, "Register": 0.1310, "BRAM": 0.6570, "Clock": 207.0},
+}
+
+HEADLINE_SPEEDUP_RANGE = (1.11, 129.95)  # GRAMER vs both CPU systems
+HEADLINE_ENERGY_RANGE = (5.79, 678.34)
+
+# Fig. 12 improvement ranges reported in §VI-C (on P2P, 10% memory).
+FIG12_RANGES = {
+    "static_vs_uniform_vertex_hit_gain": (0.1296, 0.3744),
+    "static_vs_uniform_edge_hit_gain": (0.0842, 0.2494),
+    "static_vs_uniform_speedup": (1.60, 2.95),
+    "lamh_vs_static_vertex_hit_gain": (0.0101, 0.0567),
+    "lamh_vs_static_edge_hit_gain": (0.0111, 0.0610),
+    "lamh_vs_static_speedup": (1.06, 1.39),
+}
+
+FIG13_WORK_STEALING_RANGE = (1.32, 1.90)
+
+
+def paper_speedup(app: str, graph: str) -> tuple[float | None, float | None]:
+    """Paper's (vs-Fractal, vs-RStream) speedups for one Table III cell."""
+    gramer, fractal, rstream = TABLE3_SECONDS[app][graph]
+    vs_fractal = fractal / gramer if (gramer and fractal) else None
+    vs_rstream = rstream / gramer if (gramer and rstream) else None
+    return vs_fractal, vs_rstream

@@ -1,0 +1,155 @@
+"""Render a summary report from a ``results.json`` produced by run_all.
+
+``python -m repro.experiments.report results/results.json`` rebuilds a
+compact paper-vs-measured digest (the data behind EXPERIMENTS.md) from the
+structured results, so re-runs regenerate the summary mechanically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from .paper_data import (
+    FIG13_WORK_STEALING_RANGE,
+    HEADLINE_ENERGY_RANGE,
+    HEADLINE_SPEEDUP_RANGE,
+)
+
+__all__ = ["render_report", "main"]
+
+
+def _section(title: str) -> list[str]:
+    return ["", f"## {title}", ""]
+
+
+def _speedup_summary(table3_rows: list[dict]) -> list[str]:
+    lines = _section("Table III — speedups")
+    ratios_f = [
+        r["speedup_vs_fractal"]
+        for r in table3_rows
+        if r.get("speedup_vs_fractal")
+    ]
+    ratios_r = [
+        r["speedup_vs_rstream"]
+        for r in table3_rows
+        if r.get("speedup_vs_rstream")
+    ]
+    lo, hi = HEADLINE_SPEEDUP_RANGE
+    if ratios_f:
+        lines.append(
+            f"- vs Fractal: {min(ratios_f):.1f}x – {max(ratios_f):.1f}x "
+            f"over {len(ratios_f)} cells (paper envelope {lo}x – {hi}x)"
+        )
+    if ratios_r:
+        lines.append(
+            f"- vs RStream: {min(ratios_r):.1f}x – {max(ratios_r):.1f}x "
+            f"over {len(ratios_r)} cells"
+        )
+    wins = sum(
+        1
+        for r in table3_rows
+        if (r.get("speedup_vs_fractal") or 0) > 1
+        and (r.get("speedup_vs_rstream") or 1.01) > 1
+    )
+    lines.append(f"- GRAMER wins {wins}/{len(table3_rows)} cells outright")
+    return lines
+
+
+def _energy_summary(energy_rows: list[dict]) -> list[str]:
+    lines = _section("Fig. 11a — energy savings")
+    lo, hi = HEADLINE_ENERGY_RANGE
+    for system in ("fractal", "rstream"):
+        mins = [r[f"{system}_min"] for r in energy_rows if f"{system}_min" in r]
+        maxs = [r[f"{system}_max"] for r in energy_rows if f"{system}_max" in r]
+        if mins:
+            lines.append(
+                f"- vs {system.capitalize()}: {min(mins):.1f}x – "
+                f"{max(maxs):.1f}x (paper envelope {lo}x – {hi}x)"
+            )
+    return lines
+
+
+def _stealing_summary(fig13: dict) -> list[str]:
+    lines = _section("Fig. 13b — work stealing")
+    rows = fig13.get("work_stealing", [])
+    if rows:
+        speedups = {r["graph"]: r["speedup"] for r in rows}
+        best = max(speedups, key=speedups.get)
+        lo, hi = FIG13_WORK_STEALING_RANGE
+        lines.append(
+            f"- speedups {min(speedups.values()):.2f}x – "
+            f"{max(speedups.values()):.2f}x (paper {lo}x – {hi}x); "
+            f"best on {best}"
+        )
+    return lines
+
+
+def _locality_summary(fig05_rows: list[dict]) -> list[str]:
+    lines = _section("Fig. 5 — extension locality")
+    for row in fig05_rows:
+        shares = row["vertex_share"]
+        iterations = sorted(int(k) for k in shares)
+        first, last = iterations[0], iterations[-1]
+        lines.append(
+            f"- {row['graph']}: top-5% vertex share "
+            f"{shares[first] if first in shares else shares[str(first)]:.1%}"
+            f" → "
+            f"{shares[last] if last in shares else shares[str(last)]:.1%}"
+            f" across iterations {first}–{last}"
+        )
+    return lines
+
+
+def render_report(payload: dict) -> str:
+    """Markdown digest of one run_all results payload."""
+    lines = [
+        "# GRAMER reproduction — results digest",
+        "",
+        f"scale preset: `{payload.get('scale', '?')}`; "
+        f"wall time {float(payload.get('wall_seconds', 0)):.0f}s",
+    ]
+    if "fig05" in payload:
+        # JSON round-trips dict keys to strings; normalise.
+        rows = [
+            {
+                "graph": r["graph"],
+                "vertex_share": {
+                    int(k): v for k, v in r["vertex_share"].items()
+                },
+            }
+            for r in payload["fig05"]
+        ]
+        lines += _locality_summary(rows)
+    if "table3" in payload:
+        lines += _speedup_summary(payload["table3"])
+    if "fig11" in payload and "energy" in payload["fig11"]:
+        lines += _energy_summary(payload["fig11"]["energy"])
+    if "fig13" in payload:
+        lines += _stealing_summary(payload["fig13"])
+    lines.append("")
+    lines.append(
+        "Full per-experiment tables live next to results.json; "
+        "interpretation and caveats in EXPERIMENTS.md."
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", nargs="?", default="results/results.json")
+    parser.add_argument("--out", default=None,
+                        help="write the digest here instead of stdout")
+    args = parser.parse_args(argv)
+    payload = json.loads(Path(args.results).read_text(encoding="utf-8"))
+    text = render_report(payload)
+    if args.out:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+    else:
+        print(text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+"""Table III — running time of GRAMER vs Fractal vs RStream.
+
+Eight application variants × seven graphs × three systems.  GRAMER runs in
+the cycle simulator; the baselines run through their CPU/disk models.  The
+proxies are orders of magnitude smaller than the paper's datasets, so the
+comparison metric is the *speedup* (who wins, by what factor), reported
+next to the paper's speedup for the same cell.
+"""
+
+from __future__ import annotations
+
+from .harness import (
+    CellResult,
+    format_seconds,
+    format_table,
+    run_fractal_cell,
+    run_gramer_cell,
+    run_rstream_cell,
+)
+from .datasets import DATASET_ORDER
+from .paper_data import TABLE3_APPS, paper_speedup
+
+__all__ = ["run", "main", "speedup_rows"]
+
+
+def run(
+    scale: str = "small",
+    apps: list[str] | None = None,
+    graphs: list[str] | None = None,
+    verbose: bool = False,
+) -> list[CellResult]:
+    """Run every requested cell for all three systems."""
+    apps = apps if apps is not None else list(TABLE3_APPS)
+    graphs = graphs if graphs is not None else list(DATASET_ORDER)
+    cells: list[CellResult] = []
+    for app in apps:
+        for graph in graphs:
+            for runner in (run_gramer_cell, run_fractal_cell, run_rstream_cell):
+                cell = runner(app, graph, scale)
+                cells.append(cell)
+                if verbose:
+                    print(
+                        f"  {cell.system:8s} {app:5s} {graph:9s} "
+                        f"{format_seconds(cell.seconds):>10s} "
+                        f"(host {cell.wall_seconds:.1f}s)",
+                        flush=True,
+                    )
+    return cells
+
+
+def _by_cell(cells: list[CellResult]) -> dict[tuple[str, str], dict[str, CellResult]]:
+    table: dict[tuple[str, str], dict[str, CellResult]] = {}
+    for cell in cells:
+        table.setdefault((cell.app, cell.graph), {})[cell.system] = cell
+    return table
+
+
+def speedup_rows(cells: list[CellResult]) -> list[dict]:
+    """Per (app, graph): modeled seconds, speedups, and paper speedups."""
+    rows = []
+    for (app, graph), systems in sorted(_by_cell(cells).items()):
+        gramer = systems.get("GRAMER")
+        fractal = systems.get("Fractal")
+        rstream = systems.get("RStream")
+        if gramer is None or gramer.seconds is None:
+            continue
+
+        def ratio(base: CellResult | None) -> float | None:
+            if base is None or base.seconds is None:
+                return None
+            return base.seconds / gramer.seconds
+
+        paper_f, paper_r = paper_speedup(app if app in TABLE3_APPS else "FSM", graph)
+        rows.append(
+            {
+                "app": app,
+                "graph": graph,
+                "gramer_s": gramer.seconds,
+                "fractal_s": fractal.seconds if fractal else None,
+                "rstream_s": rstream.seconds if rstream else None,
+                "speedup_vs_fractal": ratio(fractal),
+                "speedup_vs_rstream": ratio(rstream),
+                "paper_speedup_vs_fractal": paper_f,
+                "paper_speedup_vs_rstream": paper_r,
+            }
+        )
+    return rows
+
+
+def _fmt_ratio(value: float | None) -> str:
+    return f"{value:.2f}x" if value is not None else "N/A"
+
+
+def main(
+    scale: str = "small",
+    apps: list[str] | None = None,
+    graphs: list[str] | None = None,
+    verbose: bool = True,
+) -> str:
+    """Render Table III with paper-speedup columns."""
+    cells = run(scale, apps, graphs, verbose=verbose)
+    rows = speedup_rows(cells)
+    table = format_table(
+        [
+            "App", "Graph", "GRAMER", "Fractal", "RStream",
+            "vs Fractal (paper)", "vs RStream (paper)",
+        ],
+        [
+            [
+                r["app"],
+                r["graph"],
+                format_seconds(r["gramer_s"]),
+                format_seconds(r["fractal_s"]),
+                format_seconds(r["rstream_s"]),
+                f"{_fmt_ratio(r['speedup_vs_fractal'])} "
+                f"({_fmt_ratio(r['paper_speedup_vs_fractal'])})",
+                f"{_fmt_ratio(r['speedup_vs_rstream'])} "
+                f"({_fmt_ratio(r['paper_speedup_vs_rstream'])})",
+            ]
+            for r in rows
+        ],
+    )
+    return "Table III — running time, GRAMER vs Fractal vs RStream\n" + table
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,48 @@
+"""Graph substrate: CSR storage, generators, IO, statistics, reordering."""
+
+from .csr import CSRGraph
+from .generators import (
+    clique,
+    complete_bipartite,
+    cycle,
+    erdos_renyi,
+    grid,
+    path,
+    powerlaw_cluster,
+    random_labels,
+    rmat,
+    star,
+)
+from .io import load_edge_list, parse_edge_list, save_edge_list
+from .reorder import (
+    ReorderResult,
+    rank_permutation,
+    reorder_by_on1,
+    reorder_by_scores,
+)
+from .stats import DegreeStats, degree_stats, gini_coefficient, top_share
+
+__all__ = [
+    "CSRGraph",
+    "clique",
+    "complete_bipartite",
+    "cycle",
+    "erdos_renyi",
+    "grid",
+    "path",
+    "powerlaw_cluster",
+    "random_labels",
+    "rmat",
+    "star",
+    "load_edge_list",
+    "parse_edge_list",
+    "save_edge_list",
+    "ReorderResult",
+    "rank_permutation",
+    "reorder_by_on1",
+    "reorder_by_scores",
+    "DegreeStats",
+    "degree_stats",
+    "gini_coefficient",
+    "top_share",
+]

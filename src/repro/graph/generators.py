@@ -1,0 +1,265 @@
+"""Synthetic graph generators.
+
+The paper evaluates on SNAP/NBER datasets (Citeseer, P2P, Astro, Mico,
+Patents, YouTube, LiveJournal).  Those files are not available offline, so
+the experiment harness substitutes synthetic proxies built here.  What the
+GRAMER design exploits is the *shape* of real-world graphs — the power-law
+degree distribution that concentrates extension-time accesses on a few hot
+vertices (§II-D) — so the generators are chosen for their degree
+distributions:
+
+* :func:`erdos_renyi` — near-uniform degrees (Citeseer proxy; the paper's
+  Citeseer is a small, thin citation graph).
+* :func:`powerlaw_cluster` — preferential attachment with optional triad
+  closure, heavy-tailed degrees and tunable clustering (all other proxies).
+* Structured generators (:func:`clique`, :func:`star`, :func:`cycle`,
+  :func:`complete_bipartite`, :func:`grid`) used throughout the tests as
+  graphs with known mining results.
+
+All generators are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "erdos_renyi",
+    "powerlaw_cluster",
+    "rmat",
+    "clique",
+    "star",
+    "cycle",
+    "path",
+    "complete_bipartite",
+    "grid",
+    "random_labels",
+]
+
+
+def erdos_renyi(num_vertices: int, num_edges: int, seed: int = 0) -> CSRGraph:
+    """G(n, m) random graph: ``num_edges`` distinct edges chosen uniformly."""
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise ValueError(
+            f"requested {num_edges} edges but only {max_edges} are possible"
+        )
+    rng = np.random.default_rng(seed)
+    edges: set[tuple[int, int]] = set()
+    # Sample in batches; for sparse graphs a couple of rounds suffice.
+    while len(edges) < num_edges:
+        need = num_edges - len(edges)
+        us = rng.integers(0, num_vertices, size=2 * need + 8)
+        vs = rng.integers(0, num_vertices, size=2 * need + 8)
+        for u, v in zip(us.tolist(), vs.tolist()):
+            if u == v:
+                continue
+            edges.add((u, v) if u < v else (v, u))
+            if len(edges) == num_edges:
+                break
+    return CSRGraph(num_vertices, edges)
+
+
+def powerlaw_cluster(
+    num_vertices: int,
+    edges_per_vertex: int,
+    triad_probability: float = 0.3,
+    seed: int = 0,
+    max_degree: int | None = None,
+) -> CSRGraph:
+    """Preferential-attachment graph with triad closure (Holme–Kim style).
+
+    Each arriving vertex attaches ``edges_per_vertex`` edges; each edge
+    either targets an endpoint sampled proportionally to degree or, with
+    ``triad_probability``, closes a triangle with a neighbour of the previous
+    target.  The result has a power-law degree tail (the property §II-D's
+    extension-locality argument rests on) and non-trivial clustering, which
+    real mining datasets such as Mico and Astro exhibit.
+
+    ``max_degree`` truncates the tail: attachment to a vertex already at the
+    cap is rejected.  The dataset proxies use this to keep combinatorial
+    workloads (hub-degree-cubed terms in 4-MC) tractable for the pure-Python
+    simulator while preserving the degree *skew* the paper's locality
+    argument needs — see DESIGN.md.
+
+    Vertex IDs are shuffled after construction.  Preferential attachment
+    natively assigns hubs the lowest IDs (they are the oldest vertices),
+    which would correlate ID order with degree; real SNAP datasets have
+    arbitrary IDs, and the mining engine's ID-based canonicality checks make
+    that correlation behaviourally significant (a low-ID hub is rarely a
+    canonical extension candidate).  Shuffling restores ID ⊥ degree.
+    """
+    m = edges_per_vertex
+    if m < 1:
+        raise ValueError("edges_per_vertex must be >= 1")
+    if num_vertices <= m:
+        raise ValueError("num_vertices must exceed edges_per_vertex")
+    if not 0.0 <= triad_probability <= 1.0:
+        raise ValueError("triad_probability must be in [0, 1]")
+    if max_degree is not None and max_degree < m + 1:
+        raise ValueError("max_degree must be > edges_per_vertex")
+
+    rng = np.random.default_rng(seed)
+    edges: set[tuple[int, int]] = set()
+    # `targets` holds one entry per edge endpoint so uniform sampling from it
+    # is degree-proportional sampling (the classic BA trick).
+    targets: list[int] = list(range(m))
+    adjacency: list[list[int]] = [[] for _ in range(num_vertices)]
+
+    def add_edge(u: int, v: int) -> bool:
+        key = (u, v) if u < v else (v, u)
+        if u == v or key in edges:
+            return False
+        if max_degree is not None and (
+            len(adjacency[u]) >= max_degree or len(adjacency[v]) >= max_degree
+        ):
+            return False
+        edges.add(key)
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+        return True
+
+    for v in range(m, num_vertices):
+        chosen: list[int] = []
+        prev_target: int | None = None
+        attempts = 0
+        while len(chosen) < m and attempts < 50 * m:
+            attempts += 1
+            if (
+                prev_target is not None
+                and adjacency[prev_target]
+                and rng.random() < triad_probability
+            ):
+                candidate = int(
+                    adjacency[prev_target][
+                        rng.integers(0, len(adjacency[prev_target]))
+                    ]
+                )
+            else:
+                candidate = int(targets[rng.integers(0, len(targets))])
+            if add_edge(v, candidate):
+                chosen.append(candidate)
+                prev_target = candidate
+        for u in chosen:
+            targets.append(u)
+            targets.append(v)
+    permutation = rng.permutation(num_vertices)
+    shuffled = (
+        (int(permutation[u]), int(permutation[v])) for u, v in edges
+    )
+    return CSRGraph(num_vertices, shuffled)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 8,
+    probabilities: tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05),
+    seed: int = 0,
+) -> CSRGraph:
+    """R-MAT / Kronecker graph (Graph500 defaults).
+
+    ``2**scale`` vertices, ``edge_factor × 2**scale`` directed samples
+    (deduplicated and symmetrised).  The recursive quadrant descent
+    produces the heavy-tailed, community-ish structure accelerator papers
+    conventionally benchmark on; IDs are shuffled for the same reason as in
+    :func:`powerlaw_cluster`.
+    """
+    if scale < 1 or scale > 24:
+        raise ValueError("scale must be in [1, 24]")
+    if edge_factor < 1:
+        raise ValueError("edge_factor must be >= 1")
+    a, b, c, d = probabilities
+    if abs(a + b + c + d - 1.0) > 1e-9 or min(a, b, c, d) < 0:
+        raise ValueError("probabilities must be non-negative and sum to 1")
+
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    num_samples = edge_factor * n
+    # Vectorised descent: one random draw per (sample, level).
+    draws = rng.random((num_samples, scale))
+    us = np.zeros(num_samples, dtype=np.int64)
+    vs = np.zeros(num_samples, dtype=np.int64)
+    for level in range(scale):
+        r = draws[:, level]
+        # Quadrants: a (u0,v0), b (u0,v1), c (u1,v0), d (u1,v1).
+        in_b = (r >= a) & (r < a + b)
+        in_c = (r >= a + b) & (r < a + b + c)
+        in_d = r >= a + b + c
+        us = (us << 1) | (in_c | in_d)
+        vs = (vs << 1) | (in_b | in_d)
+    permutation = rng.permutation(n)
+    edges = zip(permutation[us].tolist(), permutation[vs].tolist())
+    return CSRGraph(n, edges)
+
+
+def clique(num_vertices: int) -> CSRGraph:
+    """Complete graph K_n."""
+    return CSRGraph(
+        num_vertices,
+        (
+            (u, v)
+            for u in range(num_vertices)
+            for v in range(u + 1, num_vertices)
+        ),
+    )
+
+
+def star(num_leaves: int) -> CSRGraph:
+    """Star: vertex 0 connected to ``num_leaves`` leaves."""
+    return CSRGraph(num_leaves + 1, ((0, i) for i in range(1, num_leaves + 1)))
+
+
+def cycle(num_vertices: int) -> CSRGraph:
+    """Cycle C_n (requires n >= 3)."""
+    if num_vertices < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    return CSRGraph(
+        num_vertices,
+        ((i, (i + 1) % num_vertices) for i in range(num_vertices)),
+    )
+
+
+def path(num_vertices: int) -> CSRGraph:
+    """Path P_n."""
+    return CSRGraph(num_vertices, ((i, i + 1) for i in range(num_vertices - 1)))
+
+
+def complete_bipartite(left: int, right: int) -> CSRGraph:
+    """Complete bipartite graph K_{left,right}."""
+    return CSRGraph(
+        left + right,
+        ((u, left + v) for u in range(left) for v in range(right)),
+    )
+
+
+def grid(rows: int, cols: int) -> CSRGraph:
+    """2-D grid graph (rows × cols)."""
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((vid(r, c), vid(r + 1, c)))
+    return CSRGraph(rows * cols, edges)
+
+
+def random_labels(
+    graph: CSRGraph, num_labels: int, seed: int = 0
+) -> CSRGraph:
+    """Return a copy of ``graph`` with uniform random labels in ``[0, num_labels)``.
+
+    FSM needs labeled vertices (patterns are label-aware); the SNAP proxies
+    are unlabeled, so experiments label them with this helper, mirroring how
+    the mining-systems literature labels Mico/Patents variants.
+    """
+    if num_labels < 1:
+        raise ValueError("num_labels must be >= 1")
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, num_labels, size=graph.num_vertices)
+    return CSRGraph.from_arrays(graph.offsets, graph.neighbors, labels=labels)

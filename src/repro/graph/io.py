@@ -1,0 +1,61 @@
+"""Edge-list graph IO.
+
+The SNAP datasets the paper uses ship as whitespace-separated edge lists;
+this module reads and writes that format so users can run the reproduction
+on the real files when they have them (``gramer mine --graph patents.txt``),
+and round-trips the synthetic proxies for caching.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+
+from .csr import CSRGraph
+
+__all__ = ["load_edge_list", "save_edge_list", "parse_edge_list"]
+
+
+def parse_edge_list(
+    lines: Iterable[str], comment_prefix: str = "#"
+) -> CSRGraph:
+    """Parse SNAP-style edge-list lines into a :class:`CSRGraph`.
+
+    Vertex IDs are compacted to ``0..n-1`` preserving first-seen order of the
+    sorted original IDs, since SNAP files routinely have sparse ID spaces.
+    Lines starting with ``comment_prefix`` and blank lines are skipped.
+    """
+    raw_edges: list[tuple[int, int]] = []
+    ids: set[int] = set()
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith(comment_prefix):
+            continue
+        parts = stripped.split()
+        if len(parts) < 2:
+            raise ValueError(f"line {lineno}: expected two vertex IDs, got {line!r}")
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: non-integer vertex ID") from exc
+        raw_edges.append((u, v))
+        ids.add(u)
+        ids.add(v)
+
+    remap = {original: compact for compact, original in enumerate(sorted(ids))}
+    edges = ((remap[u], remap[v]) for u, v in raw_edges)
+    return CSRGraph(len(remap), edges)
+
+
+def load_edge_list(filename: str | os.PathLike[str]) -> CSRGraph:
+    """Load an undirected graph from a SNAP-style edge-list file."""
+    with open(filename, "r", encoding="utf-8") as handle:
+        return parse_edge_list(handle)
+
+
+def save_edge_list(graph: CSRGraph, filename: str | os.PathLike[str]) -> None:
+    """Write ``graph`` as an edge list, one ``u v`` pair per line."""
+    with open(filename, "w", encoding="utf-8") as handle:
+        handle.write(f"# {graph.num_vertices} vertices, {graph.num_edges} edges\n")
+        for u, v in graph.edges():
+            handle.write(f"{u} {v}\n")

@@ -1,0 +1,124 @@
+"""Extension-locality analyses (paper §II-D, Figs. 5 and 8a).
+
+Given an :class:`~repro.locality.trace.IterationTrace`, these functions
+answer the two questions the motivation study asks:
+
+* what share of accesses hit the top-x% most-accessed vertices/edges in each
+  iteration (Fig. 5), and
+* how accurately does the ON_k heuristic predict that observed top set
+  (Fig. 8a: "the proportion of vertices that can fall in the ideal 5% top
+  vertex set").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+from .occurrence import (
+    edge_scores_from_vertex_scores,
+    occurrence_numbers,
+    top_fraction_vertices,
+)
+from .trace import IterationTrace
+
+__all__ = [
+    "top_access_share",
+    "locality_curve",
+    "LocalityCurve",
+    "heuristic_accuracy",
+]
+
+
+def top_access_share(counts: Counter[int], population: int, fraction: float) -> float:
+    """Share of accesses going to the top-``fraction`` of the *population*.
+
+    ``population`` is the total number of addressable items (all vertices or
+    all edge slots), not just the accessed ones — an item with zero accesses
+    still occupies a slot in the ranking, exactly as in the paper's offline
+    ranking study.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    if population <= 0:
+        raise ValueError("population must be positive")
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    k = max(1, int(round(fraction * population)))
+    top = sorted(counts.values(), reverse=True)[:k]
+    return sum(top) / total
+
+
+@dataclass(frozen=True)
+class LocalityCurve:
+    """Fig. 5 series for one graph: access share per iteration."""
+
+    fraction: float
+    vertex_share_by_iteration: dict[int, float]
+    edge_share_by_iteration: dict[int, float]
+
+
+def locality_curve(
+    graph: CSRGraph, trace: IterationTrace, fraction: float = 0.05
+) -> LocalityCurve:
+    """Per-iteration top-``fraction`` access shares for vertices and edges."""
+    vertex_share = {
+        iteration: top_access_share(
+            trace.vertex_counts(iteration), graph.num_vertices, fraction
+        )
+        for iteration in trace.iterations
+    }
+    edge_share = {
+        iteration: top_access_share(
+            trace.edge_counts(iteration), len(graph.neighbors), fraction
+        )
+        for iteration in trace.iterations
+    }
+    return LocalityCurve(
+        fraction=fraction,
+        vertex_share_by_iteration=vertex_share,
+        edge_share_by_iteration=edge_share,
+    )
+
+
+def _observed_top_vertices(
+    counts: Counter[int], population: int, fraction: float
+) -> set[int]:
+    k = max(1, int(round(fraction * population)))
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return set(v for v, _count in ranked[:k])
+
+
+def heuristic_accuracy(
+    graph: CSRGraph,
+    trace: IterationTrace,
+    hops: int,
+    fraction: float = 0.05,
+) -> dict[int, float]:
+    """Fig. 8a: per-iteration overlap of predicted vs observed top sets.
+
+    Returns ``iteration -> |predicted ∩ observed| / |observed|`` where
+    *predicted* is the ON_hops top-``fraction`` vertex set and *observed* is
+    the traced top-``fraction`` set of that iteration.
+    """
+    scores = occurrence_numbers(graph, hops)
+    predicted = top_fraction_vertices(scores, fraction)
+    accuracy: dict[int, float] = {}
+    for iteration in trace.iterations:
+        observed = _observed_top_vertices(
+            trace.vertex_counts(iteration), graph.num_vertices, fraction
+        )
+        if not observed:
+            continue
+        accuracy[iteration] = len(predicted & observed) / len(observed)
+    return accuracy
+
+
+def edge_priority_scores(graph: CSRGraph, hops: int = 1) -> np.ndarray:
+    """Convenience: per-edge-slot ON scores (``ON(edge) = ON(v_src)``)."""
+    return edge_scores_from_vertex_scores(graph, occurrence_numbers(graph, hops))

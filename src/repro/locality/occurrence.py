@@ -1,0 +1,130 @@
+"""Occurrence-number (ON) heuristic — paper §IV-B, Equation (1).
+
+The high-priority memory must know *which* data will be hot before the run
+starts.  Equation (1) estimates the occurrence number of a vertex ``v`` at
+hop depth ``k`` as::
+
+    ON_k(v) = prod_{dist=0..k}  sum_{v' in nghbr(dist, v)} Deg(v')
+
+i.e. the product over distances of the total degree mass at that distance.
+``ON_0`` is just the degree; ``ON_1`` multiplies in the 1-hop neighbours'
+degree sum and is the paper's chosen cost/accuracy sweet spot (Fig. 8).
+Edge priority inherits from the source vertex: ``ON1(edge) = ON1(v_src)``.
+
+The constant factor ``c`` of Eq. (1) scales all vertices equally and so
+never changes the *ranking*, which is all GRAMER consumes; it is omitted.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "occurrence_numbers",
+    "OccurrenceTiming",
+    "timed_occurrence_numbers",
+    "top_fraction_vertices",
+    "edge_scores_from_vertex_scores",
+]
+
+
+def _distance_degree_sums(graph: CSRGraph, source: int, max_dist: int) -> list[float]:
+    """``sum(Deg(v'))`` over vertices at exact BFS distance 0..max_dist."""
+    offsets = graph.offsets
+    neighbors = graph.neighbors
+    sums: list[float] = []
+    visited = {source}
+    frontier = [source]
+    for _dist in range(max_dist + 1):
+        if not frontier:
+            sums.append(0.0)
+            continue
+        sums.append(
+            float(sum(int(offsets[v + 1] - offsets[v]) for v in frontier))
+        )
+        nxt: list[int] = []
+        for v in frontier:
+            for u in neighbors[offsets[v] : offsets[v + 1]].tolist():
+                if u not in visited:
+                    visited.add(u)
+                    nxt.append(u)
+        frontier = nxt
+    return sums
+
+
+def occurrence_numbers(graph: CSRGraph, hops: int = 1) -> np.ndarray:
+    """``ON_hops`` score per vertex (Equation 1, constant ``c`` dropped).
+
+    ``hops = 0`` reduces to plain degree; ``hops = 1`` is the production
+    heuristic.  The 1-hop case is computed with one vectorised
+    gather-reduce; deeper hops run per-vertex BFS, whose rapidly growing
+    cost is itself the subject of Fig. 8(b).
+    """
+    if hops < 0:
+        raise ValueError("hops must be >= 0")
+    degrees = graph.degrees().astype(np.float64)
+    if hops == 0:
+        return degrees
+    if hops == 1:
+        neighbor_degree_sum = np.zeros(graph.num_vertices, dtype=np.float64)
+        # Sum neighbour degrees per vertex: gather degrees at neighbor IDs and
+        # reduce per CSR slice.
+        gathered = degrees[graph.neighbors]
+        cumulative = np.concatenate(([0.0], np.cumsum(gathered)))
+        neighbor_degree_sum = cumulative[graph.offsets[1:]] - cumulative[
+            graph.offsets[:-1]
+        ]
+        return degrees * neighbor_degree_sum
+    scores = np.zeros(graph.num_vertices, dtype=np.float64)
+    for v in range(graph.num_vertices):
+        product = 1.0
+        for value in _distance_degree_sums(graph, v, hops):
+            product *= value
+        scores[v] = product
+    return scores
+
+
+@dataclass(frozen=True)
+class OccurrenceTiming:
+    """ON computation output with its wall-clock cost (Fig. 8b / Fig. 11b)."""
+
+    scores: np.ndarray
+    hops: int
+    seconds: float
+
+
+def timed_occurrence_numbers(graph: CSRGraph, hops: int) -> OccurrenceTiming:
+    """Compute ``ON_hops`` and record its wall-clock time."""
+    start = time.perf_counter()
+    scores = occurrence_numbers(graph, hops)
+    return OccurrenceTiming(
+        scores=scores, hops=hops, seconds=time.perf_counter() - start
+    )
+
+
+def top_fraction_vertices(scores: np.ndarray, fraction: float) -> set[int]:
+    """The top-``fraction`` vertex IDs by score (ties broken by ID)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    count = max(1, int(round(fraction * len(scores))))
+    order = np.lexsort((np.arange(len(scores)), -scores))
+    return set(int(v) for v in order[:count])
+
+
+def edge_scores_from_vertex_scores(
+    graph: CSRGraph, vertex_scores: np.ndarray
+) -> np.ndarray:
+    """Per-edge-slot score: ``ON(edge) = ON(v_src)`` (§IV-B).
+
+    Indexed like ``graph.neighbors``: slot ``i`` belongs to the source vertex
+    whose CSR slice contains ``i``.
+    """
+    scores = np.empty(len(graph.neighbors), dtype=np.float64)
+    for v in range(graph.num_vertices):
+        scores[graph.offsets[v] : graph.offsets[v + 1]] = vertex_scores[v]
+    return scores

@@ -1,0 +1,104 @@
+"""Memory-trace capture.
+
+These are :class:`~repro.mining.engine.MemoryModel` implementations that
+record instead of cost.  The paper's motivation studies ("we trace all
+memory requests in each iteration, and then rank each vertex and edge
+according to the number of their memory requests", footnote 1) are built on
+:class:`IterationTrace`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["AccessCounter", "IterationTrace", "CallbackMemory"]
+
+
+class AccessCounter:
+    """Flat access totals (no per-iteration split)."""
+
+    __slots__ = ("depth", "vertex_counts", "edge_counts")
+
+    def __init__(self) -> None:
+        self.depth = 0
+        self.vertex_counts: Counter[int] = Counter()
+        self.edge_counts: Counter[int] = Counter()
+
+    def vertex(self, vid: int) -> None:
+        self.vertex_counts[vid] += 1
+
+    def edge(self, index: int, src: int) -> None:
+        self.edge_counts[index] += 1
+
+    @property
+    def total_vertex_accesses(self) -> int:
+        """Total vertex accesses recorded."""
+        return sum(self.vertex_counts.values())
+
+    @property
+    def total_edge_accesses(self) -> int:
+        """Total edge accesses recorded."""
+        return sum(self.edge_counts.values())
+
+
+@dataclass
+class _IterationBucket:
+    vertex_counts: Counter[int] = field(default_factory=Counter)
+    edge_counts: Counter[int] = field(default_factory=Counter)
+
+
+class IterationTrace:
+    """Per-iteration access counters keyed by embedding size.
+
+    ``depth`` (set by the engine) is the size of the embedding being
+    extended, which equals the paper's iteration number: iteration ``i``
+    extends ``i``-vertex embeddings into ``(i+1)``-vertex ones.
+    """
+
+    def __init__(self) -> None:
+        self.depth = 0
+        self.buckets: dict[int, _IterationBucket] = {}
+
+    def _bucket(self) -> _IterationBucket:
+        bucket = self.buckets.get(self.depth)
+        if bucket is None:
+            bucket = _IterationBucket()
+            self.buckets[self.depth] = bucket
+        return bucket
+
+    def vertex(self, vid: int) -> None:
+        self._bucket().vertex_counts[vid] += 1
+
+    def edge(self, index: int, src: int) -> None:
+        self._bucket().edge_counts[index] += 1
+
+    @property
+    def iterations(self) -> list[int]:
+        """Iteration numbers observed, ascending."""
+        return sorted(self.buckets)
+
+    def vertex_counts(self, iteration: int) -> Counter[int]:
+        """Vertex access counts for one iteration."""
+        return self.buckets[iteration].vertex_counts
+
+    def edge_counts(self, iteration: int) -> Counter[int]:
+        """Edge-slot access counts for one iteration."""
+        return self.buckets[iteration].edge_counts
+
+
+class CallbackMemory:
+    """Adapter forwarding engine events to callables (used by the sim glue)."""
+
+    __slots__ = ("depth", "_on_vertex", "_on_edge")
+
+    def __init__(self, on_vertex, on_edge) -> None:
+        self.depth = 0
+        self._on_vertex = on_vertex
+        self._on_edge = on_edge
+
+    def vertex(self, vid: int) -> None:
+        self._on_vertex(vid)
+
+    def edge(self, index: int, src: int) -> None:
+        self._on_edge(index, src)

@@ -1,0 +1,45 @@
+"""Memory substrate: caches, policies, scratchpad, LAMH, DRAM, disk."""
+
+from .cache import CacheStats, SetAssociativeCache
+from .dram import DRAMModel
+from .disk import DiskModel, OutOfDiskError
+from .hierarchy import (
+    AccessLevel,
+    LocalityAwareHierarchy,
+    MemorySide,
+    SideStats,
+    build_hierarchy,
+    default_tau,
+    edge_cutoff_rank,
+)
+from .policies import (
+    FIFOPolicy,
+    LineState,
+    LocalityPreservedPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+)
+from .scratchpad import Scratchpad
+
+__all__ = [
+    "CacheStats",
+    "SetAssociativeCache",
+    "DRAMModel",
+    "DiskModel",
+    "OutOfDiskError",
+    "AccessLevel",
+    "LocalityAwareHierarchy",
+    "MemorySide",
+    "SideStats",
+    "build_hierarchy",
+    "default_tau",
+    "edge_cutoff_rank",
+    "FIFOPolicy",
+    "LineState",
+    "LocalityPreservedPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "Scratchpad",
+]

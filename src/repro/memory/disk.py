@@ -1,0 +1,64 @@
+"""SSD/disk traffic model for the RStream baseline.
+
+RStream "stores the intermediate embeddings in SSD" (§VII) and its
+characteristic cost is streaming every materialised frontier out and back in
+(§V-A).  The model charges sequential-streaming time per byte plus a
+per-batch latency, and enforces a capacity after which the run fails — the
+paper's *'N/A': the system runs out of the disk* cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DiskModel", "OutOfDiskError"]
+
+
+class OutOfDiskError(RuntimeError):
+    """Raised when cumulative resident bytes exceed the disk capacity."""
+
+
+@dataclass
+class DiskModel:
+    """Streaming SSD model (defaults ~ a SATA SSD like the paper's 1TB)."""
+
+    write_bandwidth_bytes_per_s: float = 500e6
+    read_bandwidth_bytes_per_s: float = 550e6
+    batch_latency_s: float = 100e-6
+    capacity_bytes: int = 10**12
+    bytes_written: int = 0
+    bytes_read: int = 0
+    seconds: float = 0.0
+    resident_bytes: int = 0
+
+    def write(self, num_bytes: int) -> float:
+        """Stream ``num_bytes`` out; returns the time charged."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+        self.resident_bytes += num_bytes
+        if self.resident_bytes > self.capacity_bytes:
+            raise OutOfDiskError(
+                f"{self.resident_bytes} resident bytes exceed capacity "
+                f"{self.capacity_bytes}"
+            )
+        cost = num_bytes / self.write_bandwidth_bytes_per_s + (
+            self.batch_latency_s if num_bytes else 0.0
+        )
+        self.bytes_written += num_bytes
+        self.seconds += cost
+        return cost
+
+    def read(self, num_bytes: int) -> float:
+        """Stream ``num_bytes`` back in; returns the time charged."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be >= 0")
+        cost = num_bytes / self.read_bandwidth_bytes_per_s + (
+            self.batch_latency_s if num_bytes else 0.0
+        )
+        self.bytes_read += num_bytes
+        self.seconds += cost
+        return cost
+
+    def free(self, num_bytes: int) -> None:
+        """Release ``num_bytes`` of resident intermediate data."""
+        self.resident_bytes = max(0, self.resident_bytes - num_bytes)

@@ -1,0 +1,53 @@
+"""Off-chip DRAM timing model.
+
+A fixed access latency plus a bandwidth constraint modeled as ``channels``
+independent servers, each able to start one transfer every
+``cycles_per_transfer`` cycles (the Alveo U250 carries four DDR4 channels,
+§VI-A).  The simulators call :meth:`service` with the request's issue time
+and receive its completion time; queueing emerges from the channel
+next-free bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DRAMModel"]
+
+
+@dataclass
+class DRAMModel:
+    """Latency/bandwidth model of the off-chip memory."""
+
+    latency_cycles: int = 100
+    channels: int = 4
+    cycles_per_transfer: int = 2
+    transfers: int = 0
+    busy_cycles: int = 0
+    _next_free: list[int] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.latency_cycles < 0 or self.channels < 1:
+            raise ValueError("latency must be >= 0 and channels >= 1")
+        if self.cycles_per_transfer < 1:
+            raise ValueError("cycles_per_transfer must be >= 1")
+        self._next_free = [0] * self.channels
+
+    def service(self, issue_time: int, address: int = 0) -> int:
+        """Serve a request issued at ``issue_time``; returns completion time.
+
+        The request is steered to its address-interleaved channel (matching
+        DDR channel interleaving); it starts when the channel frees up.
+        """
+        channel = address % self.channels
+        start = max(issue_time, self._next_free[channel])
+        self._next_free[channel] = start + self.cycles_per_transfer
+        self.transfers += 1
+        self.busy_cycles += self.cycles_per_transfer
+        return start + self.latency_cycles
+
+    def reset(self) -> None:
+        """Clear channel state and counters."""
+        self._next_free = [0] * self.channels
+        self.transfers = 0
+        self.busy_cycles = 0

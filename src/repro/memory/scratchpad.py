@@ -1,0 +1,42 @@
+"""High-priority scratchpad memory (paper §IV-B).
+
+The high-priority memory "permanently resides the high-priority data without
+data eviction ... implemented as a fast scratchpad".  After graph reordering
+the resident set is simply a rank prefix, so the scratchpad is a cutoff plus
+counters — which is the whole point of the paper's reordering trick: the
+membership test is one comparison against the request's ID.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Scratchpad"]
+
+
+@dataclass
+class Scratchpad:
+    """Pinned storage for all items with ``rank < cutoff``."""
+
+    cutoff: int
+    hits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cutoff < 0:
+            raise ValueError("cutoff must be >= 0")
+
+    @property
+    def capacity_entries(self) -> int:
+        """Entries permanently resident."""
+        return self.cutoff
+
+    def holds(self, rank: int) -> bool:
+        """Whether the item with this rank is resident (pure predicate)."""
+        return rank < self.cutoff
+
+    def access(self, rank: int) -> bool:
+        """Access by rank; counts and returns residency."""
+        if rank < self.cutoff:
+            self.hits += 1
+            return True
+        return False

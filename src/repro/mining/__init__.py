@@ -1,0 +1,59 @@
+"""Mining core: canonicality, patterns, the extend-check engine, and apps."""
+
+from .apps import (
+    Application,
+    CliqueFinding,
+    FrequentSubgraphMining,
+    MiningResult,
+    MotifCounting,
+    SubgraphMatching,
+    make_app,
+)
+from .export import (
+    load_result,
+    result_from_json,
+    result_to_csv,
+    result_to_json,
+    result_to_records,
+    save_result,
+)
+from .canonical import canonical_order, is_canonical_embedding
+from .embedding import Embedding
+from .engine import (
+    Frame,
+    FrontierOverflowError,
+    MemoryModel,
+    NullMemory,
+    run_bfs,
+    run_dfs,
+)
+from .patterns import PatternCode, canonical_code, code_from_columns, pattern_name
+
+__all__ = [
+    "Application",
+    "CliqueFinding",
+    "FrequentSubgraphMining",
+    "MiningResult",
+    "MotifCounting",
+    "SubgraphMatching",
+    "make_app",
+    "load_result",
+    "result_from_json",
+    "result_to_csv",
+    "result_to_json",
+    "result_to_records",
+    "save_result",
+    "canonical_order",
+    "is_canonical_embedding",
+    "Embedding",
+    "Frame",
+    "FrontierOverflowError",
+    "MemoryModel",
+    "NullMemory",
+    "run_bfs",
+    "run_dfs",
+    "PatternCode",
+    "canonical_code",
+    "code_from_columns",
+    "pattern_name",
+]

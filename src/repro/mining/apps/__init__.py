@@ -1,0 +1,36 @@
+"""Graph mining applications (CF, MC, FSM) on the embedding-centric model."""
+
+from .base import Application, MiningResult
+from .clique import CliqueFinding
+from .fsm import FrequentSubgraphMining
+from .match import SubgraphMatching, can_embed_induced
+from .motif import MotifCounting
+
+__all__ = [
+    "Application",
+    "MiningResult",
+    "CliqueFinding",
+    "FrequentSubgraphMining",
+    "SubgraphMatching",
+    "can_embed_induced",
+    "MotifCounting",
+]
+
+
+def make_app(name: str, **kwargs) -> Application:
+    """Factory used by the CLI and experiment harness.
+
+    ``name`` is e.g. ``"3-CF"``, ``"4-MC"`` or ``"FSM-100"`` (the paper's
+    Table III naming).
+    """
+    token = name.strip().upper()
+    if token.endswith("-CF"):
+        return CliqueFinding(max_vertices=int(token.split("-")[0]), **kwargs)
+    if token.endswith("-MC"):
+        return MotifCounting(max_vertices=int(token.split("-")[0]), **kwargs)
+    if token.startswith("FSM-") or token.startswith("FSM "):
+        threshold = int(token[4:].replace("K", "000"))
+        return FrequentSubgraphMining(threshold=threshold, **kwargs)
+    raise ValueError(
+        f"unknown application {name!r}; expected k-CF, k-MC, or FSM-k"
+    )

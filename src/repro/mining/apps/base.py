@@ -1,0 +1,156 @@
+"""Application base class: the three primitives of Table I.
+
+An :class:`Application` supplies ``Aggregate_filter``, ``Filter`` and
+``Process`` (plus bookkeeping) to the engine, exactly mirroring the
+embedding-centric model of Algorithm 1.  Results accumulate in per-size
+pattern counters; :meth:`result` snapshots them into an immutable
+:class:`MiningResult`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.mining.patterns import PatternCode, code_from_columns
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.csr import CSRGraph
+
+__all__ = ["Application", "MiningResult"]
+
+
+@dataclass(frozen=True)
+class MiningResult:
+    """Snapshot of a finished mining run."""
+
+    app_name: str
+    max_vertices: int
+    embeddings_by_size: dict[int, int]
+    patterns_by_size: dict[int, dict[PatternCode, int]]
+    summary: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_embeddings(self) -> int:
+        """Total accepted embeddings across all sizes."""
+        return sum(self.embeddings_by_size.values())
+
+    def pattern_count(self, code: PatternCode) -> int:
+        """Occurrences of one pattern (0 when absent)."""
+        return self.patterns_by_size.get(code.size, {}).get(code, 0)
+
+
+class Application:
+    """Base graph-mining application (subclass per algorithm).
+
+    Subclasses override the Table I primitives.  The engine calls:
+
+    * :meth:`root_filter` once per initial (1-vertex) embedding,
+    * :meth:`filter` on every canonical extension (``Filter(e')``),
+    * :meth:`process` on every filter-passing embedding (``Process(e')``),
+    * :meth:`aggregate_filter` before an embedding is extended further
+      (``Aggregate_filter(e)``).
+
+    ``clique_only`` lets the extend-check reject candidates missing an edge
+    to any member early — the hardware equivalent of CF's IsClique filter
+    running inside the Extender.
+    """
+
+    name = "base"
+    clique_only = False
+    needs_labels = False
+
+    def __init__(self, max_vertices: int) -> None:
+        if max_vertices < 2:
+            raise ValueError("max_vertices must be >= 2")
+        self.max_vertices = max_vertices
+        self.reset()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear accumulated state so the instance can run again."""
+        self.embeddings_by_size: Counter[int] = Counter()
+        self.patterns_by_size: dict[int, Counter[PatternCode]] = {}
+        self.candidates_checked = 0  # maintained by the engines
+
+    def prepare(self, graph: "CSRGraph") -> None:
+        """Pre-run hook (e.g. FSM precomputes level-2 support counts)."""
+
+    def finalize(self, graph: "CSRGraph") -> None:
+        """Post-run hook."""
+
+    # -- Table I primitives ------------------------------------------------------
+
+    def root_filter(self, graph: "CSRGraph", vertex: int) -> bool:
+        """Whether the 1-vertex embedding ``{vertex}`` seeds exploration."""
+        return True
+
+    def aggregate_filter(
+        self,
+        graph: "CSRGraph",
+        vertices: tuple[int, ...],
+        columns: tuple[int, ...],
+    ) -> bool:
+        """``Aggregate_filter(e)`` — may this embedding be extended?"""
+        return True
+
+    def filter(
+        self,
+        graph: "CSRGraph",
+        vertices: tuple[int, ...],
+        columns: tuple[int, ...],
+    ) -> bool:
+        """``Filter(e')`` — is this embedding wanted?"""
+        return True
+
+    def process(
+        self,
+        graph: "CSRGraph",
+        vertices: tuple[int, ...],
+        columns: tuple[int, ...],
+    ) -> None:
+        """``Process(e')`` — default: count the embedding and its pattern."""
+        size = len(vertices)
+        self.embeddings_by_size[size] += 1
+        if self.counts_patterns(size):
+            code = self.pattern_of(graph, vertices, columns)
+            self.patterns_by_size.setdefault(size, Counter())[code] += 1
+
+    # -- helpers -----------------------------------------------------------------
+
+    def counts_patterns(self, size: int) -> bool:
+        """Whether per-pattern counters are kept at this embedding size."""
+        return size >= 3
+
+    def pattern_of(
+        self,
+        graph: "CSRGraph",
+        vertices: tuple[int, ...],
+        columns: tuple[int, ...],
+    ) -> PatternCode:
+        """Canonical pattern ``P(e)`` of an embedding."""
+        labels = (
+            tuple(graph.label(v) for v in vertices)
+            if self.needs_labels
+            else None
+        )
+        return code_from_columns(columns, labels)
+
+    def summary(self) -> dict[str, object]:
+        """Application-specific result summary (override as needed)."""
+        return {}
+
+    def result(self) -> MiningResult:
+        """Immutable snapshot of the accumulated results."""
+        return MiningResult(
+            app_name=self.name,
+            max_vertices=self.max_vertices,
+            embeddings_by_size=dict(self.embeddings_by_size),
+            patterns_by_size={
+                size: dict(counter)
+                for size, counter in self.patterns_by_size.items()
+            },
+            summary=self.summary(),
+        )

@@ -1,0 +1,47 @@
+"""Clique finding (CF).
+
+Table I: ``Aggregate_filter = TRUE``, ``Filter = IsClique(e)``,
+``Process = (P(e), 1)``.  ``k``-CF finds all complete subgraphs with ``k``
+vertices (paper Table III caption).  Because the extend-check runs with
+``clique_only=True``, every accepted embedding is already a clique of its
+size and the explicit filter is a no-op double-check.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .base import Application
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.csr import CSRGraph
+
+__all__ = ["CliqueFinding"]
+
+
+class CliqueFinding(Application):
+    """Find all ``k``-vertex cliques (``k = max_vertices``)."""
+
+    name = "CF"
+    clique_only = True
+
+    def filter(self, graph, vertices, columns) -> bool:
+        # IsClique: every member adjacent to every earlier member.  The
+        # clique-only extend-check guarantees this; assert the invariant.
+        size = len(vertices)
+        return all(
+            columns[i] == (1 << i) - 1 for i in range(1, size)
+        )
+
+    def counts_patterns(self, size: int) -> bool:
+        # Only the target size is reported: k-CF counts k-cliques.
+        return size == self.max_vertices
+
+    def summary(self) -> dict[str, object]:
+        k = self.max_vertices
+        return {"num_cliques": self.embeddings_by_size.get(k, 0), "k": k}
+
+    @property
+    def num_cliques(self) -> int:
+        """Number of ``k``-cliques found."""
+        return self.embeddings_by_size.get(self.max_vertices, 0)

@@ -1,0 +1,40 @@
+"""Motif counting (MC).
+
+Table I: all three primitives pass everything through — every
+non-automorphic embedding is counted.  ``k``-MC reports the census of
+``k``-vertex patterns (paper Table III caption: "k-MC counts the occurrence
+times of k-vertex patterns"); intermediate sizes ≥ 3 are tallied too since
+the enumeration visits them anyway.
+"""
+
+from __future__ import annotations
+
+from repro.mining.patterns import PatternCode, pattern_name
+
+from .base import Application
+
+__all__ = ["MotifCounting"]
+
+
+class MotifCounting(Application):
+    """Count occurrences of all connected ``k``-vertex patterns."""
+
+    name = "MC"
+
+    def motif_census(self, size: int | None = None) -> dict[PatternCode, int]:
+        """Pattern -> occurrence count at ``size`` (default: max size)."""
+        size = size if size is not None else self.max_vertices
+        return dict(self.patterns_by_size.get(size, {}))
+
+    def named_census(self, size: int | None = None) -> dict[str, int]:
+        """Census keyed by human-readable pattern names."""
+        return {
+            pattern_name(code): count
+            for code, count in sorted(self.motif_census(size).items())
+        }
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "census": self.named_census(),
+            "k": self.max_vertices,
+        }

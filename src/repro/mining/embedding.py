@@ -1,0 +1,70 @@
+"""User-facing embedding object.
+
+The engines work on bare tuples for speed; :class:`Embedding` wraps one
+result with convenience accessors for notebooks, examples, and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.csr import CSRGraph
+
+from .canonical import is_canonical_embedding
+from .patterns import PatternCode, canonical_code, pattern_name
+
+__all__ = ["Embedding"]
+
+
+@dataclass(frozen=True)
+class Embedding:
+    """A connected induced subgraph of ``graph`` in insertion order."""
+
+    graph: CSRGraph
+    vertices: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.vertices)) != len(self.vertices):
+            raise ValueError("embedding vertices must be distinct")
+        for v in self.vertices:
+            if not 0 <= v < self.graph.num_vertices:
+                raise ValueError(f"vertex {v} out of range")
+
+    @property
+    def size(self) -> int:
+        """Number of vertices."""
+        return len(self.vertices)
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Induced edges as pairs of *graph* vertex IDs."""
+        return [
+            (self.vertices[i], self.vertices[j])
+            for i in range(self.size)
+            for j in range(i + 1, self.size)
+            if self.graph.has_edge(self.vertices[i], self.vertices[j])
+        ]
+
+    def pattern(self, labeled: bool = False) -> PatternCode:
+        """Canonical pattern of the induced subgraph."""
+        index = {v: i for i, v in enumerate(self.vertices)}
+        local_edges = [(index[u], index[v]) for u, v in self.edges()]
+        labels = (
+            tuple(self.graph.label(v) for v in self.vertices)
+            if labeled
+            else None
+        )
+        return canonical_code(local_edges, self.size, labels)
+
+    def pattern_name(self) -> str:
+        """Readable pattern name (e.g. ``triangle``)."""
+        return pattern_name(self.pattern())
+
+    @property
+    def is_clique(self) -> bool:
+        """Whether the embedding is a complete subgraph."""
+        return len(self.edges()) == self.size * (self.size - 1) // 2
+
+    @property
+    def is_canonical(self) -> bool:
+        """Whether the insertion order is the canonical order."""
+        return is_canonical_embedding(self.graph, self.vertices)

@@ -1,0 +1,376 @@
+"""The extend-check mining engine.
+
+This module is the single implementation of embedding extension shared by
+*every* execution vehicle in the repository:
+
+* the software reference / CPU baselines (DFS and BFS drivers below),
+* the memory-trace collectors (``repro.locality.trace``),
+* the GRAMER cycle simulator (``repro.accel.sim``), which steps
+  :class:`Frame` objects one candidate at a time so that slot-level
+  pipelining and work stealing can interleave them.
+
+Sharing one engine guarantees the invariant the whole evaluation rests on:
+all vehicles enumerate the identical embedding set and emit the identical
+memory-access stream; they differ only in what a memory access *costs*.
+
+Memory-access model (paper §II-B, Fig. 2b)
+------------------------------------------
+Extending an embedding walks its members in joining order (the compaction
+order of Fig. 10).  Activating a member costs one **vertex access** (its CSR
+offset/degree entry) and streaming its adjacency costs one **edge access**
+per slot.  Each proposed candidate ``u`` is then connectivity-checked
+against every embedding member: per member, one random vertex access (the
+member's offsets) plus a binary search for ``u`` inside *the member's*
+adjacency slice.  This is Fig. 2(b)'s access pattern — "random access on
+embedding vertices" and "random access on embedding edges": the embedding's
+members, which are disproportionately high-degree vertices, are the ones
+whose records and edges get hammered, which is exactly the extension
+locality GRAMER exploits.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Protocol, Sequence
+
+from .canonical import id_checks_pass
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.csr import CSRGraph
+    from .apps.base import Application
+
+__all__ = [
+    "MemoryModel",
+    "NullMemory",
+    "Frame",
+    "advance_frame",
+    "check_candidate",
+    "run_dfs",
+    "run_bfs",
+    "FrontierOverflowError",
+]
+
+
+class MemoryModel(Protocol):
+    """What the engine charges accesses to.
+
+    ``depth`` is set by the engine before each operation to the size of the
+    embedding being extended; it equals the paper's iteration number, which
+    the Fig. 5 locality analysis buckets on.
+    """
+
+    depth: int
+
+    def vertex(self, vid: int) -> None:
+        """Charge one access to vertex ``vid``'s CSR offset entry."""
+
+    def edge(self, index: int, src: int) -> None:
+        """Charge one access to ``neighbors[index]`` (source vertex ``src``)."""
+
+
+class NullMemory:
+    """A memory model that costs nothing (pure software enumeration)."""
+
+    __slots__ = ("depth",)
+
+    def __init__(self) -> None:
+        self.depth = 0
+
+    def vertex(self, vid: int) -> None:
+        pass
+
+    def edge(self, index: int, src: int) -> None:
+        pass
+
+
+class Frame:
+    """One level of the DFS extension stack.
+
+    Holds the embedding (in canonical joining order), the per-member
+    adjacency columns (bit ``j`` of ``columns[i]`` set when members ``i`` and
+    ``j < i`` are adjacent), and the extension cursor: which member is being
+    extended and how far into its adjacency slice we are.  This is exactly
+    the compacted ancestor record of Fig. 10 — (extending vertex, offset) —
+    plus the embedding itself, so the accelerator's ancestor-buffer sizing
+    is derived from it.
+
+    Work stealing (§V-C) splits a frame's remaining candidate range between
+    victim and thief; ``member_limit`` (exclusive last member to extend) and
+    ``cursor_limit`` (exclusive cursor bound for the *current* member,
+    cleared when the member advances) delimit each side's share.
+    """
+
+    __slots__ = (
+        "vertices",
+        "columns",
+        "member_idx",
+        "edge_cursor",
+        "member_base",
+        "member_degree",
+        "member_limit",
+        "cursor_limit",
+    )
+
+    def __init__(
+        self, vertices: tuple[int, ...], columns: tuple[int, ...]
+    ) -> None:
+        self.vertices = vertices
+        self.columns = columns
+        self.member_idx = 0
+        self.edge_cursor = 0
+        self.member_base = -1  # CSR offset of current member; -1 = not loaded
+        self.member_degree = 0
+        self.member_limit = len(vertices)
+        self.cursor_limit: int | None = None
+
+    @property
+    def size(self) -> int:
+        """Number of vertices in the embedding being extended."""
+        return len(self.vertices)
+
+    def exhausted(self) -> bool:
+        """Whether this frame's share of the adjacency has been scanned."""
+        return self.member_idx >= self.member_limit
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Frame(vertices={self.vertices}, member={self.member_idx}, "
+            f"cursor={self.edge_cursor})"
+        )
+
+
+def advance_frame(graph: "CSRGraph", frame: Frame, mem: MemoryModel) -> int | None:
+    """Produce the next raw candidate of ``frame`` (or ``None`` if done).
+
+    Advances the member/cursor state, charging the member vertex access on
+    activation and one edge access per adjacency slot read.
+    """
+    offsets = graph.offsets
+    neighbors = graph.neighbors
+    while frame.member_idx < frame.member_limit:
+        if frame.member_base < 0:
+            member = frame.vertices[frame.member_idx]
+            mem.vertex(member)
+            frame.member_base = int(offsets[member])
+            frame.member_degree = int(offsets[member + 1]) - frame.member_base
+        bound = frame.member_degree
+        if frame.cursor_limit is not None and frame.cursor_limit < bound:
+            bound = frame.cursor_limit
+        if frame.edge_cursor < bound:
+            index = frame.member_base + frame.edge_cursor
+            frame.edge_cursor += 1
+            mem.edge(index, frame.vertices[frame.member_idx])
+            return int(neighbors[index])
+        frame.member_idx += 1
+        frame.edge_cursor = 0
+        frame.member_base = -1
+        frame.cursor_limit = None
+    return None
+
+
+def _search_adjacency(
+    graph: "CSRGraph", u: int, target: int, mem: MemoryModel,
+    probe: str = "binary",
+) -> bool:
+    """Membership test for ``target`` in ``u``'s adjacency.
+
+    ``probe`` selects the memory-access shape of a connectivity check:
+
+    * ``"binary"`` — binary search over the sorted slice: ~log2(deg) random
+      probes (a software implementation's choice).
+    * ``"scan"`` — stream the slice until the target is found or passed:
+      the paper's §II-B description ("access all edges between its internal
+      vertices and every newly-extended vertex") and what comparator
+      hardware without a search datapath does.  Sequential, but re-streams
+      hub lists constantly — the traffic the high-priority memory pins.
+
+    Both return identical results; they differ only in the charged trace.
+    """
+    neighbors = graph.neighbors
+    lo = int(graph.offsets[u])
+    hi = int(graph.offsets[u + 1])
+    if probe == "scan":
+        for index in range(lo, hi):
+            mem.edge(index, u)
+            value = int(neighbors[index])
+            if value == target:
+                return True
+            if value > target:  # sorted slice: target cannot appear later
+                return False
+        return False
+    while lo < hi:
+        mid = (lo + hi) // 2
+        mem.edge(mid, u)
+        value = int(neighbors[mid])
+        if value == target:
+            return True
+        if value < target:
+            lo = mid + 1
+        else:
+            hi = mid
+    return False
+
+
+def check_candidate(
+    graph: "CSRGraph",
+    vertices: tuple[int, ...],
+    member_idx: int,
+    candidate: int,
+    clique_only: bool,
+    mem: MemoryModel,
+    probe: str = "binary",
+) -> tuple[bool, int]:
+    """Run the full extend-check on one candidate.
+
+    Returns ``(accepted, column)`` where ``column`` is the adjacency bitmask
+    of ``candidate`` over the embedding members.  Rejections happen for
+    (in cost order): ID-canonicality failure (free — the IDs are already in
+    the pipeline registers), duplicate proposal (``candidate`` adjacent to
+    an earlier member, detected by the connectivity checks), or, when
+    ``clique_only``, a missing edge to any member.
+
+    Each connectivity check reads the *member's* CSR record and
+    binary-searches the member's adjacency slice — the Fig. 2(b) access
+    pattern (see the module docstring).
+    """
+    if not id_checks_pass(vertices, member_idx, candidate):
+        return False, 0
+    column = 1 << member_idx
+    for i, member in enumerate(vertices):
+        if i == member_idx:
+            continue
+        # Random vertex access: the member's offsets locate its slice.
+        mem.vertex(member)
+        adjacent = _search_adjacency(graph, member, candidate, mem, probe)
+        if adjacent:
+            if i < member_idx:
+                # First-neighbour violation: this set is generated from
+                # member ``i`` instead; drop the duplicate.
+                return False, 0
+            column |= 1 << i
+        elif clique_only:
+            return False, 0
+    return True, column
+
+
+def run_dfs(
+    graph: "CSRGraph",
+    app: "Application",
+    mem: MemoryModel | None = None,
+    roots: Iterable[int] | None = None,
+) -> "Application":
+    """Depth-first enumeration (the Fractal / GRAMER execution model §V-A).
+
+    Every initial embedding (vertex) is recursively extended to the
+    application's maximum size before the next root starts; intermediate
+    embeddings live only on the stack, never in off-chip storage.
+    """
+    mem = mem if mem is not None else NullMemory()
+    app.prepare(graph)
+    root_iter = roots if roots is not None else range(graph.num_vertices)
+    clique_only = app.clique_only
+    for root in root_iter:
+        if not app.root_filter(graph, root):
+            continue
+        stack = [Frame((int(root),), (0,))]
+        while stack:
+            frame = stack[-1]
+            mem.depth = frame.size
+            candidate = advance_frame(graph, frame, mem)
+            if candidate is None:
+                stack.pop()
+                continue
+            app.candidates_checked += 1
+            accepted, column = check_candidate(
+                graph, frame.vertices, frame.member_idx, candidate,
+                clique_only, mem,
+            )
+            if not accepted:
+                continue
+            vertices = frame.vertices + (candidate,)
+            columns = frame.columns + (column,)
+            if not app.filter(graph, vertices, columns):
+                continue
+            app.process(graph, vertices, columns)
+            if len(vertices) < app.max_vertices and app.aggregate_filter(
+                graph, vertices, columns
+            ):
+                stack.append(Frame(vertices, columns))
+    app.finalize(graph)
+    return app
+
+
+class FrontierOverflowError(RuntimeError):
+    """Raised when a BFS frontier outgrows the configured limit.
+
+    The BFS model's defining weakness (§V-A): intermediate embeddings must be
+    materialised, and "a modest graph ... can quickly generate trillions of
+    embeddings".  The limit turns that failure mode into a typed error, which
+    the RStream baseline maps to the paper's 'N/A — out of disk' cells.
+    """
+
+
+def run_bfs(
+    graph: "CSRGraph",
+    app: "Application",
+    mem: MemoryModel | None = None,
+    max_frontier: int = 10_000_000,
+    frontier_observer=None,
+) -> "Application":
+    """Level-synchronous enumeration (the Arabesque / RStream model §V-A).
+
+    Materialises every intermediate frontier.  ``frontier_observer(size,
+    count, candidates)`` is invoked per completed level — ``count`` accepted
+    embeddings of that size, ``candidates`` raw extension candidates the
+    level generated — so the RStream disk model can charge both the
+    intermediate-embedding traffic and the join-intermediate tuples its
+    relational plan materialises.
+    """
+    mem = mem if mem is not None else NullMemory()
+    app.prepare(graph)
+    clique_only = app.clique_only
+    frontier: list[tuple[tuple[int, ...], tuple[int, ...]]] = [
+        ((v,), (0,))
+        for v in range(graph.num_vertices)
+        if app.root_filter(graph, v)
+    ]
+    size = 1
+    while frontier and size < app.max_vertices:
+        candidates_before = app.candidates_checked
+        next_frontier: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+        for vertices, columns in frontier:
+            if not app.aggregate_filter(graph, vertices, columns):
+                continue
+            frame = Frame(vertices, columns)
+            mem.depth = frame.size
+            while True:
+                candidate = advance_frame(graph, frame, mem)
+                if candidate is None:
+                    break
+                app.candidates_checked += 1
+                accepted, column = check_candidate(
+                    graph, vertices, frame.member_idx, candidate,
+                    clique_only, mem,
+                )
+                if not accepted:
+                    continue
+                new_vertices = vertices + (candidate,)
+                new_columns = columns + (column,)
+                if not app.filter(graph, new_vertices, new_columns):
+                    continue
+                app.process(graph, new_vertices, new_columns)
+                next_frontier.append((new_vertices, new_columns))
+                if len(next_frontier) > max_frontier:
+                    raise FrontierOverflowError(
+                        f"frontier at size {size + 1} exceeded "
+                        f"{max_frontier} embeddings"
+                    )
+        if frontier_observer is not None:
+            frontier_observer(
+                size + 1,
+                len(next_frontier),
+                app.candidates_checked - candidates_before,
+            )
+        frontier = next_frontier
+        size += 1
+    app.finalize(graph)
+    return app

@@ -1,0 +1,129 @@
+"""Result serialisation: MiningResult ↔ JSON / CSV.
+
+Downstream users want mining output they can load elsewhere; these helpers
+flatten :class:`~repro.mining.apps.base.MiningResult` (whose keys are
+:class:`~repro.mining.patterns.PatternCode` objects) into plain records and
+back.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import TYPE_CHECKING
+
+from .apps.base import MiningResult
+from .patterns import PatternCode, pattern_name
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import os
+
+__all__ = [
+    "result_to_records",
+    "result_to_json",
+    "result_from_json",
+    "result_to_csv",
+    "save_result",
+    "load_result",
+]
+
+
+def _code_to_dict(code: PatternCode) -> dict:
+    return {
+        "size": code.size,
+        "adjacency": code.adjacency,
+        "labels": list(code.labels),
+    }
+
+
+def _code_from_dict(payload: dict) -> PatternCode:
+    return PatternCode(
+        size=int(payload["size"]),
+        adjacency=int(payload["adjacency"]),
+        labels=tuple(int(l) for l in payload["labels"]),
+    )
+
+
+def result_to_records(result: MiningResult) -> list[dict]:
+    """Flat per-pattern rows: size, name, encoding, count."""
+    records = []
+    for size in sorted(result.patterns_by_size):
+        for code, count in sorted(result.patterns_by_size[size].items()):
+            records.append(
+                {
+                    "size": size,
+                    "pattern": pattern_name(code),
+                    "adjacency": code.adjacency,
+                    "labels": list(code.labels),
+                    "count": count,
+                }
+            )
+    return records
+
+
+def result_to_json(result: MiningResult) -> str:
+    """Lossless JSON encoding of a MiningResult."""
+    payload = {
+        "app_name": result.app_name,
+        "max_vertices": result.max_vertices,
+        "embeddings_by_size": {
+            str(k): v for k, v in result.embeddings_by_size.items()
+        },
+        "patterns_by_size": {
+            str(size): [
+                {"code": _code_to_dict(code), "count": count}
+                for code, count in sorted(counter.items())
+            ]
+            for size, counter in result.patterns_by_size.items()
+        },
+        "summary": result.summary,
+    }
+    return json.dumps(payload, indent=2, default=str)
+
+
+def result_from_json(text: str) -> MiningResult:
+    """Inverse of :func:`result_to_json`."""
+    payload = json.loads(text)
+    return MiningResult(
+        app_name=payload["app_name"],
+        max_vertices=int(payload["max_vertices"]),
+        embeddings_by_size={
+            int(k): int(v)
+            for k, v in payload["embeddings_by_size"].items()
+        },
+        patterns_by_size={
+            int(size): {
+                _code_from_dict(entry["code"]): int(entry["count"])
+                for entry in entries
+            }
+            for size, entries in payload["patterns_by_size"].items()
+        },
+        summary=payload.get("summary", {}),
+    )
+
+
+def result_to_csv(result: MiningResult) -> str:
+    """CSV with one row per (size, pattern, count)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=["size", "pattern", "adjacency", "labels", "count"]
+    )
+    writer.writeheader()
+    for record in result_to_records(result):
+        row = dict(record)
+        row["labels"] = "|".join(str(l) for l in record["labels"])
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def save_result(result: MiningResult, path: "str | os.PathLike[str]") -> None:
+    """Write the JSON encoding to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(result_to_json(result))
+
+
+def load_result(path: "str | os.PathLike[str]") -> MiningResult:
+    """Read a result written by :func:`save_result`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return result_from_json(handle.read())

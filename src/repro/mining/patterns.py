@@ -1,0 +1,192 @@
+"""Canonical pattern codes for small subgraphs.
+
+A *pattern* is a small graph considered up to isomorphism (plus vertex
+labels for FSM).  The Process primitives of Table I emit ``(P(e), ...)``
+tuples, so every application needs a cheap canonical form for subgraphs of a
+handful of vertices.  Mining embeddings never exceed the maximum embedding
+size (≤ 5 in the paper's evaluation, ≤ 8 supported here), so brute-force
+minimisation over vertex permutations with memoisation is both exact and
+fast.
+
+A pattern is encoded as ``PatternCode(size, adjacency, labels)`` where
+``adjacency`` packs the upper-triangular adjacency matrix row-major into an
+int (bit ``index(i, j)`` set when vertices ``i < j`` are adjacent) and
+``labels`` is the label tuple in canonical vertex order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from itertools import combinations, permutations
+from typing import Sequence
+
+__all__ = [
+    "PatternCode",
+    "canonical_code",
+    "code_from_columns",
+    "pattern_name",
+    "MAX_PATTERN_SIZE",
+]
+
+MAX_PATTERN_SIZE = 8
+
+
+@dataclass(frozen=True, order=True)
+class PatternCode:
+    """Canonical (isomorphism-invariant) encoding of a small pattern."""
+
+    size: int
+    adjacency: int
+    labels: tuple[int, ...]
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges in the pattern."""
+        return bin(self.adjacency).count("1")
+
+    @property
+    def is_clique(self) -> bool:
+        """Whether the pattern is the complete graph on ``size`` vertices."""
+        return self.num_edges == self.size * (self.size - 1) // 2
+
+    @property
+    def is_connected(self) -> bool:
+        """Whether the pattern is connected."""
+        if self.size == 0:
+            return False
+        seen = {0}
+        stack = [0]
+        while stack:
+            i = stack.pop()
+            for j in range(self.size):
+                if j not in seen and i != j and self._adjacent(i, j):
+                    seen.add(j)
+                    stack.append(j)
+        return len(seen) == self.size
+
+    def _adjacent(self, i: int, j: int) -> bool:
+        if i > j:
+            i, j = j, i
+        return bool(self.adjacency >> _triangle_index(self.size, i, j) & 1)
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Edge list of the pattern on vertices ``0..size-1``."""
+        return [
+            (i, j)
+            for i, j in combinations(range(self.size), 2)
+            if self._adjacent(i, j)
+        ]
+
+    def __str__(self) -> str:
+        name = pattern_name(self)
+        label_part = (
+            "" if all(l == 0 for l in self.labels) else f" labels={self.labels}"
+        )
+        return f"<{name}{label_part}>"
+
+
+def _triangle_index(size: int, i: int, j: int) -> int:
+    """Bit position of pair ``(i, j)`` with ``i < j`` in the packed triangle."""
+    # Row-major upper triangle: row i contributes (size-1-i) bits.
+    return i * size - i * (i + 1) // 2 + (j - i - 1)
+
+
+@lru_cache(maxsize=262144)
+def _canonicalize(size: int, adjacency: int, labels: tuple[int, ...]) -> PatternCode:
+    best: tuple[tuple[int, ...], int] | None = None
+    pairs = list(combinations(range(size), 2))
+    adj = [
+        [False] * size
+        for _ in range(size)
+    ]
+    for bit, (i, j) in enumerate(pairs):
+        if adjacency >> bit & 1:
+            adj[i][j] = adj[j][i] = True
+    for perm in permutations(range(size)):
+        # perm maps new position -> old vertex.
+        perm_labels = tuple(labels[perm[i]] for i in range(size))
+        mask = 0
+        for bit, (i, j) in enumerate(pairs):
+            if adj[perm[i]][perm[j]]:
+                mask |= 1 << bit
+        key = (perm_labels, mask)
+        if best is None or key < best:
+            best = key
+    assert best is not None
+    return PatternCode(size=size, adjacency=best[1], labels=best[0])
+
+
+def canonical_code(
+    edges: Sequence[tuple[int, int]],
+    size: int,
+    labels: Sequence[int] | None = None,
+) -> PatternCode:
+    """Canonical code of the pattern with ``size`` vertices and ``edges``.
+
+    ``edges`` uses local vertex indices ``0..size-1``.
+    """
+    if size > MAX_PATTERN_SIZE:
+        raise ValueError(
+            f"pattern size {size} exceeds MAX_PATTERN_SIZE={MAX_PATTERN_SIZE}"
+        )
+    mask = 0
+    for u, v in edges:
+        if u == v or not (0 <= u < size and 0 <= v < size):
+            raise ValueError(f"bad edge ({u}, {v}) for size {size}")
+        if u > v:
+            u, v = v, u
+        mask |= 1 << _triangle_index(size, u, v)
+    label_tuple = tuple(labels) if labels is not None else (0,) * size
+    if len(label_tuple) != size:
+        raise ValueError("labels must have one entry per pattern vertex")
+    return _canonicalize(size, mask, label_tuple)
+
+
+def code_from_columns(
+    columns: Sequence[int], labels: Sequence[int] | None = None
+) -> PatternCode:
+    """Canonical code from per-vertex adjacency columns.
+
+    ``columns[i]`` is a bitmask over indices ``< i`` marking which earlier
+    embedding members vertex ``i`` is adjacent to — the representation the
+    mining engine accumulates incrementally during extend-check (one bit per
+    connectivity check, no extra memory traffic).
+    """
+    size = len(columns)
+    edges = [
+        (j, i)
+        for i in range(size)
+        for j in range(i)
+        if columns[i] >> j & 1
+    ]
+    return canonical_code(edges, size, labels)
+
+
+_NAMED_PATTERNS: dict[tuple[int, int], str] = {}
+
+
+def _register(name: str, size: int, edges: list[tuple[int, int]]) -> None:
+    code = canonical_code(edges, size)
+    _NAMED_PATTERNS[(code.size, code.adjacency)] = name
+
+
+_register("vertex", 1, [])
+_register("edge", 2, [(0, 1)])
+_register("wedge", 3, [(0, 1), (1, 2)])
+_register("triangle", 3, [(0, 1), (1, 2), (0, 2)])
+_register("3-path", 4, [(0, 1), (1, 2), (2, 3)])
+_register("3-star", 4, [(0, 1), (0, 2), (0, 3)])
+_register("4-cycle", 4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+_register("tailed-triangle", 4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+_register("diamond", 4, [(0, 1), (1, 2), (0, 2), (0, 3), (2, 3)])
+_register("4-clique", 4, [(i, j) for i, j in combinations(range(4), 2)])
+_register("5-clique", 5, [(i, j) for i, j in combinations(range(5), 2)])
+
+
+def pattern_name(code: PatternCode) -> str:
+    """Human-readable name for well-known unlabeled patterns."""
+    name = _NAMED_PATTERNS.get((code.size, code.adjacency))
+    if name is not None:
+        return name
+    return f"pattern(n={code.size}, m={code.num_edges}, adj={code.adjacency:#x})"

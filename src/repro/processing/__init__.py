@@ -1,0 +1,19 @@
+"""Vertex-centric graph processing (the paper's §II-B contrast class)."""
+
+from .apps import (
+    BreadthFirstSearch,
+    ConnectedComponents,
+    PageRank,
+    SingleSourceShortestPaths,
+)
+from .engine import IterationLimitError, VertexProgram, run_vertex_program
+
+__all__ = [
+    "BreadthFirstSearch",
+    "ConnectedComponents",
+    "PageRank",
+    "SingleSourceShortestPaths",
+    "IterationLimitError",
+    "VertexProgram",
+    "run_vertex_program",
+]

@@ -1,0 +1,138 @@
+"""Vertex-centric applications: BFS, SSSP, connected components, PageRank.
+
+The representative graph-processing workloads the paper names when
+contrasting prior accelerators with graph mining (§I: "BFS, CC, and
+PageRank").  All are *pull*-style: an active vertex recomputes its value
+from its neighbours' values, so the initial frontier is the set of vertices
+whose inputs changed at initialisation (e.g. the source's neighbours for
+BFS).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "BreadthFirstSearch",
+    "SingleSourceShortestPaths",
+    "ConnectedComponents",
+    "PageRank",
+]
+
+INFINITY = math.inf
+
+
+class BreadthFirstSearch:
+    """Unweighted hop distance from a source vertex."""
+
+    name = "BFS"
+
+    def __init__(self, source: int) -> None:
+        self.source = source
+
+    def initial_values(self, graph: "CSRGraph") -> list:
+        values = [INFINITY] * graph.num_vertices
+        values[self.source] = 0
+        return values
+
+    def initial_frontier(self, graph: "CSRGraph") -> list[int]:
+        return [int(v) for v in graph.neighbors_of(self.source)]
+
+    def gather(self, accumulator, neighbor_value, u, v):
+        candidate = neighbor_value + 1
+        return candidate if accumulator is None else min(accumulator, candidate)
+
+    def apply(self, vertex, old_value, accumulator):
+        if accumulator is None:
+            return old_value
+        return min(old_value, accumulator)
+
+    def converged(self, old_value, new_value) -> bool:
+        return new_value == old_value
+
+
+class SingleSourceShortestPaths(BreadthFirstSearch):
+    """Weighted shortest paths; weights derived per edge via ``weight_fn``.
+
+    The CSR stores no weights, so a deterministic function of the endpoint
+    IDs supplies them (defaults to ``1 + (u + v) % 4``, strictly positive).
+    """
+
+    name = "SSSP"
+
+    def __init__(self, source: int, weight_fn=None) -> None:
+        super().__init__(source)
+        self.weight_fn = weight_fn or (lambda u, v: 1 + (u + v) % 4)
+
+    def gather(self, accumulator, neighbor_value, u, v):
+        candidate = neighbor_value + self.weight_fn(u, v)
+        return candidate if accumulator is None else min(accumulator, candidate)
+
+
+class ConnectedComponents:
+    """Label propagation: every vertex ends with its component's min ID."""
+
+    name = "CC"
+
+    def initial_values(self, graph: "CSRGraph") -> list:
+        return list(range(graph.num_vertices))
+
+    def initial_frontier(self, graph: "CSRGraph") -> list[int]:
+        return list(range(graph.num_vertices))
+
+    def gather(self, accumulator, neighbor_value, u, v):
+        return (
+            neighbor_value
+            if accumulator is None
+            else min(accumulator, neighbor_value)
+        )
+
+    def apply(self, vertex, old_value, accumulator):
+        if accumulator is None:
+            return old_value
+        return min(old_value, accumulator)
+
+    def converged(self, old_value, new_value) -> bool:
+        return new_value == old_value
+
+
+class PageRank:
+    """Standard damped PageRank over the undirected graph.
+
+    A vertex's value is ``(rank, degree)``-free: we store the rank and pull
+    ``rank(v) / deg(v)`` from each neighbour.  Convergence when the rank
+    moves less than ``tolerance``.
+    """
+
+    name = "PageRank"
+
+    def __init__(self, damping: float = 0.85, tolerance: float = 1e-4) -> None:
+        if not 0.0 < damping < 1.0:
+            raise ValueError("damping must be in (0, 1)")
+        self.damping = damping
+        self.tolerance = tolerance
+        self._degrees = None
+        self._n = 0
+
+    def initial_values(self, graph: "CSRGraph") -> list:
+        self._degrees = graph.degrees()
+        self._n = graph.num_vertices
+        return [1.0 / max(1, graph.num_vertices)] * graph.num_vertices
+
+    def initial_frontier(self, graph: "CSRGraph") -> list[int]:
+        return list(range(graph.num_vertices))
+
+    def gather(self, accumulator, neighbor_value, u, v):
+        share = neighbor_value / max(1, int(self._degrees[v]))
+        return share if accumulator is None else accumulator + share
+
+    def apply(self, vertex, old_value, accumulator):
+        incoming = accumulator if accumulator is not None else 0.0
+        return (1.0 - self.damping) / self._n + self.damping * incoming
+
+    def converged(self, old_value, new_value) -> bool:
+        return abs(new_value - old_value) < self.tolerance

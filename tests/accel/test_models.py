@@ -1,0 +1,147 @@
+"""Energy, clock-rate, and resource models."""
+
+import pytest
+
+from repro.accel.clockmodel import (
+    ClockModelParams,
+    clock_rate_mhz,
+    table4_design_points,
+)
+from repro.accel.config import GramerConfig
+from repro.accel.energy import (
+    EnergyParams,
+    cpu_energy,
+    gramer_energy,
+)
+from repro.accel.resources import (
+    FPGA_XCU250,
+    PAPER_ONCHIP_ENTRIES,
+    estimate_resources,
+)
+from repro.accel.stats import SimStats
+from repro.experiments.paper_data import TABLE2_UTILIZATION, TABLE4_CLOCK_MHZ
+
+
+class TestEnergy:
+    def _stats(self, **overrides):
+        stats = SimStats(
+            cycles=1_000_000,
+            vertex_high_hits=1000,
+            vertex_low_hits=500,
+            vertex_misses=100,
+            edge_high_hits=2000,
+            edge_low_hits=800,
+            edge_misses=200,
+            compute_cycles=5000,
+        )
+        for key, value in overrides.items():
+            setattr(stats, key, value)
+        return stats
+
+    def test_breakdown_sums(self):
+        e = gramer_energy(self._stats(), GramerConfig())
+        assert e.total_j == pytest.approx(e.memory_j + e.compute_j + e.static_j)
+        assert e.total_j > 0
+
+    def test_more_misses_more_energy(self):
+        base = gramer_energy(self._stats(), GramerConfig())
+        worse = gramer_energy(
+            self._stats(edge_misses=10_000), GramerConfig()
+        )
+        assert worse.memory_j > base.memory_j
+
+    def test_static_scales_with_cycles(self):
+        cfg = GramerConfig()
+        short = gramer_energy(self._stats(cycles=100), cfg)
+        long = gramer_energy(self._stats(cycles=10_000_000), cfg)
+        assert long.static_j > short.static_j
+
+    def test_cpu_energy_tdp(self):
+        assert cpu_energy(2.0) == pytest.approx(240.0)  # 120 W TDP
+        assert cpu_energy(1.0, tdp_w=65) == 65.0
+
+    def test_cpu_energy_negative_rejected(self):
+        with pytest.raises(ValueError):
+            cpu_energy(-1.0)
+
+    def test_custom_params(self):
+        params = EnergyParams(static_w=0.0, op_nj=0.0)
+        e = gramer_energy(self._stats(), GramerConfig(), params)
+        assert e.static_j == 0.0
+        assert e.compute_j == 0.0
+
+
+class TestClockModel:
+    def test_matches_table4_within_tolerance(self):
+        grid = table4_design_points()
+        for design, row in TABLE4_CLOCK_MHZ.items():
+            for app, paper_mhz in row.items():
+                model_mhz = grid[design][app]
+                assert model_mhz == pytest.approx(paper_mhz, rel=0.05), (
+                    design, app,
+                )
+
+    def test_design_point_ordering(self):
+        cfg = GramerConfig()
+        for app in ("CF", "FSM", "MC"):
+            none = clock_rate_mhz(cfg, app, False, False)
+            ab = clock_rate_mhz(cfg, app, True, False)
+            full = clock_rate_mhz(cfg, app, True, True)
+            assert none < ab < full
+
+    def test_cf_fastest(self):
+        cfg = GramerConfig()
+        assert clock_rate_mhz(cfg, "CF") > clock_rate_mhz(cfg, "FSM")
+
+    def test_compaction_requires_buffers(self):
+        with pytest.raises(ValueError):
+            clock_rate_mhz(GramerConfig(), "CF", ancestor_buffers=False,
+                           compaction=True)
+
+    def test_deeper_buffers_slow_uncompacted_design(self):
+        shallow = clock_rate_mhz(
+            GramerConfig(ancestor_depth=8), "CF", True, False
+        )
+        deep = clock_rate_mhz(
+            GramerConfig(ancestor_depth=16), "CF", True, False
+        )
+        assert shallow > deep
+
+    def test_custom_params_extra_bits(self):
+        params = ClockModelParams(app_extra_state_bits={"CF": 512})
+        cfg = GramerConfig()
+        assert clock_rate_mhz(cfg, "CF", params=params) < clock_rate_mhz(cfg, "CF")
+
+
+class TestResources:
+    def test_matches_table2_ballpark(self):
+        # Table II: ~25% LUT, ~13% register, ~66% BRAM at the paper config.
+        cfg = GramerConfig(onchip_entries=PAPER_ONCHIP_ENTRIES)
+        for app, paper in TABLE2_UTILIZATION.items():
+            report = estimate_resources(cfg, app)
+            assert report.lut_utilization == pytest.approx(
+                paper["LUT"], rel=0.02
+            )
+            assert report.register_utilization == pytest.approx(
+                paper["Register"], rel=0.02
+            )
+            assert report.bram_utilization == pytest.approx(
+                paper["BRAM"], rel=0.02
+            )
+
+    def test_fsm_uses_more_logic_than_cf(self):
+        cfg = GramerConfig()
+        cf = estimate_resources(cfg, "CF")
+        fsm = estimate_resources(cfg, "FSM")
+        assert fsm.luts_used > cf.luts_used
+        assert fsm.registers_used > cf.registers_used
+
+    def test_bram_scales_with_memory(self):
+        small = estimate_resources(GramerConfig(onchip_entries=1024))
+        large = estimate_resources(GramerConfig(onchip_entries=1 << 20))
+        assert large.bram_utilization > small.bram_utilization
+
+    def test_as_row_formatting(self):
+        row = estimate_resources(GramerConfig(), "CF").as_row()
+        assert set(row) == {"LUT", "Register", "BRAM", "Clock Rate"}
+        assert row["Clock Rate"].endswith("MHz")

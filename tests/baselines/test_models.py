@@ -1,0 +1,85 @@
+"""Fractal-model and RStream-model baselines."""
+
+import pytest
+
+from repro.baselines.cpu import CPUConfig
+from repro.baselines.fractal import FractalModel
+from repro.baselines.rstream import RStreamModel
+from repro.graph.generators import clique, powerlaw_cluster
+from repro.memory.disk import DiskModel
+from repro.mining.apps import CliqueFinding, MotifCounting
+from repro.mining.engine import run_dfs
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return powerlaw_cluster(250, 3, 0.4, seed=31)
+
+
+class TestFractal:
+    def test_counts_match_reference(self, graph):
+        ref = run_dfs(graph, CliqueFinding(4)).result()
+        result = FractalModel().run(graph, CliqueFinding(4))
+        assert result.mining.embeddings_by_size == ref.embeddings_by_size
+        assert result.available
+
+    def test_task_overhead_dominates_tiny_graphs(self):
+        g = clique(5)
+        result = FractalModel(task_overhead_s=0.14).run(g, CliqueFinding(3))
+        # Mining K5 is microseconds; the modeled time is ~the fixed overhead.
+        assert result.seconds == pytest.approx(0.14, rel=0.05)
+
+    def test_no_overhead_config(self, graph):
+        fast = FractalModel(task_overhead_s=0.0).run(graph, CliqueFinding(3))
+        slow = FractalModel(task_overhead_s=1.0).run(graph, CliqueFinding(3))
+        assert slow.seconds == pytest.approx(fast.seconds + 1.0)
+
+    def test_breakdown_attached(self, graph):
+        result = FractalModel().run(graph, MotifCounting(3))
+        assert result.breakdown.accesses > 0
+        assert result.breakdown.total_cycles > 0
+
+
+class TestRStream:
+    def test_counts_match_reference(self, graph):
+        ref = run_dfs(graph, MotifCounting(3)).result()
+        result = RStreamModel().run(graph, MotifCounting(3))
+        assert result.mining.patterns_by_size == ref.patterns_by_size
+        assert result.available
+
+    def test_disk_traffic_charged(self, graph):
+        disk = DiskModel()
+        result = RStreamModel(disk=disk).run(graph, MotifCounting(3))
+        # Join intermediates + embeddings stream out; only embeddings
+        # stream back as the next level's input.
+        assert disk.bytes_written > disk.bytes_read > 0
+        assert result.seconds > disk.seconds * 0.5  # disk time included
+        assert disk.resident_bytes == 0  # levels recycled
+
+    def test_frontier_overflow_is_na(self):
+        g = clique(14)
+        result = RStreamModel(max_frontier=100).run(g, MotifCounting(4))
+        assert not result.available
+        assert result.failed == "N/A"
+        assert result.seconds is not None  # inf marker
+
+    def test_out_of_disk_is_na(self, graph):
+        disk = DiskModel(capacity_bytes=10)
+        result = RStreamModel(disk=disk).run(graph, MotifCounting(3))
+        assert not result.available
+
+    def test_slower_than_fractal_when_intermediates_large(self):
+        g = powerlaw_cluster(400, 4, 0.5, seed=32)
+        fractal = FractalModel(task_overhead_s=0.0).run(g, MotifCounting(4))
+        rstream = RStreamModel(startup_overhead_s=0.0).run(g, MotifCounting(4))
+        assert rstream.seconds > fractal.seconds
+
+
+class TestSharedCPUModel:
+    def test_same_cpu_config_comparable(self, graph):
+        cfg = CPUConfig(l1_bytes=1024, l2_bytes=4096, l3_bytes=16384)
+        fractal = FractalModel(cfg).run(graph, CliqueFinding(3))
+        rstream = RStreamModel(cfg).run(graph, CliqueFinding(3))
+        assert fractal.mining.embeddings_by_size == (
+            rstream.mining.embeddings_by_size
+        )

@@ -1,0 +1,41 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import erdos_renyi, powerlaw_cluster
+
+
+@st.composite
+def small_graphs(draw, min_vertices=1, max_vertices=12, connected_bias=True):
+    """Random small CSRGraph instances for property tests."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    max_edges = n * (n - 1) // 2
+    all_pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(all_pairs), max_size=max_edges, unique=True)
+        if all_pairs
+        else st.just([])
+    )
+    return CSRGraph(n, edges)
+
+
+@pytest.fixture(scope="session")
+def er_graph():
+    """A fixed sparse Erdős–Rényi graph."""
+    return erdos_renyi(300, 600, seed=42)
+
+
+@pytest.fixture(scope="session")
+def pl_graph():
+    """A fixed skewed preferential-attachment graph."""
+    return powerlaw_cluster(300, 3, 0.4, seed=42)
+
+
+@pytest.fixture(scope="session")
+def dense_graph():
+    """A small, dense, clustered graph (plenty of cliques and motifs)."""
+    return powerlaw_cluster(120, 6, 0.7, seed=7)

@@ -1,0 +1,96 @@
+"""Dataset registry: proxies, regimes, and scaled thresholds."""
+
+import pytest
+
+from repro.experiments import datasets
+from repro.graph.stats import degree_stats
+from repro.memory.hierarchy import default_tau
+
+
+class TestRegistry:
+    def test_all_seven_present(self):
+        assert set(datasets.DATASET_ORDER) == set(datasets.DATASETS)
+        assert len(datasets.DATASET_ORDER) == 7
+
+    def test_categories_partition(self):
+        assert (
+            set(datasets.SMALL_GRAPHS)
+            | set(datasets.MEDIUM_GRAPHS)
+            | set(datasets.LARGE_GRAPHS)
+        ) == set(datasets.DATASET_ORDER)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            datasets.DATASETS["mico"].build("huge")
+
+    def test_load_memoises(self):
+        a = datasets.load("citeseer", "tiny")
+        b = datasets.load("citeseer", "tiny")
+        assert a is b
+
+    def test_labeled_variant(self):
+        labeled = datasets.load_labeled("mico", "tiny")
+        plain = datasets.load("mico", "tiny")
+        assert sorted(labeled.edges()) == sorted(plain.edges())
+        assert set(int(l) for l in labeled.labels) <= set(
+            range(datasets.FSM_NUM_LABELS)
+        )
+
+
+class TestProxyShapes:
+    @pytest.mark.parametrize("name", datasets.DATASET_ORDER)
+    def test_tiny_proxies_are_skewed_or_citeseer(self, name):
+        stats = degree_stats(datasets.load(name, "tiny"))
+        if name == "citeseer":
+            assert stats.top5_degree_share < 0.15  # near-uniform
+        else:
+            assert stats.top5_degree_share > 0.12  # heavy tail
+
+    def test_tau_regimes_small_scale(self):
+        """Small graphs reach the paper's tau=50% regime; large ones don't."""
+        budget = datasets.EXPERIMENT_ONCHIP_ENTRIES
+        for name in datasets.SMALL_GRAPHS:
+            tau = default_tau(datasets.load(name, "small"), budget)
+            assert tau == pytest.approx(0.5, abs=0.12)
+        for name in datasets.LARGE_GRAPHS:
+            tau = default_tau(datasets.load(name, "small"), budget)
+            assert tau < 0.25
+
+    def test_sizes_ordered_small_scale(self):
+        """Footprints grow along the dataset order (drives Fig. 3)."""
+        footprints = [
+            datasets.load(name, "small").num_vertices
+            + len(datasets.load(name, "small").neighbors)
+            for name in datasets.DATASET_ORDER
+        ]
+        assert footprints == sorted(footprints)
+
+
+class TestThresholdsAndCPU:
+    def test_fsm_threshold_scales_with_edges(self):
+        tiny = datasets.fsm_threshold("mico", "tiny")
+        small = datasets.fsm_threshold("mico", "small")
+        assert 2 <= tiny <= small
+
+    def test_scaled_cpu_config_presets(self):
+        small = datasets.scaled_cpu_config("small")
+        full = datasets.scaled_cpu_config("full")
+        assert small.l3_bytes < full.l3_bytes
+        with pytest.raises(ValueError):
+            datasets.scaled_cpu_config("huge")
+
+    def test_cpu_regimes_small_scale(self):
+        """Citeseer fits private caches; large graphs exceed the LLC."""
+        cfg = datasets.scaled_cpu_config("small")
+        citeseer = datasets.load("citeseer", "small")
+        assert (
+            (citeseer.num_vertices + len(citeseer.neighbors))
+            * cfg.entry_bytes
+            <= cfg.l2_bytes
+        )
+        for name in datasets.LARGE_GRAPHS:
+            g = datasets.load(name, "small")
+            assert (
+                (g.num_vertices + len(g.neighbors)) * cfg.entry_bytes
+                > cfg.l3_bytes
+            )

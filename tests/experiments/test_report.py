@@ -1,0 +1,68 @@
+"""Results-digest rendering."""
+
+import json
+
+from repro.experiments.report import main, render_report
+
+
+def sample_payload():
+    return {
+        "scale": "small",
+        "wall_seconds": 123.4,
+        "fig05": [
+            {
+                "graph": "mico",
+                "vertex_share": {"1": 0.05, "2": 0.22, "3": 0.32},
+            }
+        ],
+        "table3": [
+            {
+                "app": "3-CF", "graph": "mico",
+                "speedup_vs_fractal": 14.6, "speedup_vs_rstream": 19.9,
+            },
+            {
+                "app": "4-MC", "graph": "p2p",
+                "speedup_vs_fractal": 11.7, "speedup_vs_rstream": 21.3,
+            },
+        ],
+        "fig11": {
+            "energy": [
+                {"graph": "mico", "fractal_min": 60.0, "fractal_max": 80.0,
+                 "rstream_min": 20.0, "rstream_max": 140.0},
+            ]
+        },
+        "fig13": {
+            "work_stealing": [
+                {"graph": "p2p", "speedup": 1.43},
+                {"graph": "mico", "speedup": 1.21},
+            ]
+        },
+    }
+
+
+class TestRenderReport:
+    def test_sections_present(self):
+        text = render_report(sample_payload())
+        assert "Table III" in text
+        assert "Fig. 11a" in text
+        assert "Fig. 13b" in text
+        assert "Fig. 5" in text
+
+    def test_speedup_ranges(self):
+        text = render_report(sample_payload())
+        assert "11.7x" in text and "14.6x" in text
+        assert "wins 2/2" in text
+
+    def test_best_stealing_graph(self):
+        assert "best on p2p" in render_report(sample_payload())
+
+    def test_handles_missing_sections(self):
+        text = render_report({"scale": "tiny", "wall_seconds": 1})
+        assert "digest" in text
+
+    def test_cli_writes_file(self, tmp_path):
+        source = tmp_path / "results.json"
+        source.write_text(json.dumps(sample_payload()))
+        out = tmp_path / "digest.md"
+        main([str(source), "--out", str(out)])
+        assert "Table III" in out.read_text()

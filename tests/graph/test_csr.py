@@ -1,0 +1,163 @@
+"""CSRGraph construction, queries, and transformations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.csr import CSRGraph
+
+from ..conftest import small_graphs
+
+
+class TestConstruction:
+    def test_simple_triangle(self):
+        g = CSRGraph(3, [(0, 1), (1, 2), (0, 2)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+        assert all(g.degree(v) == 2 for v in range(3))
+
+    def test_duplicate_edges_dropped(self):
+        g = CSRGraph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loops_dropped(self):
+        g = CSRGraph(3, [(0, 0), (1, 1), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_empty_graph(self):
+        g = CSRGraph(5, [])
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_zero_vertices(self):
+        g = CSRGraph(0, [])
+        assert g.num_vertices == 0
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CSRGraph(3, [(0, 3)])
+        with pytest.raises(ValueError, match="out of range"):
+            CSRGraph(3, [(-1, 0)])
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(-1, [])
+
+    def test_labels_default_zero(self):
+        g = CSRGraph(4, [(0, 1)])
+        assert [g.label(v) for v in range(4)] == [0, 0, 0, 0]
+
+    def test_labels_stored(self):
+        g = CSRGraph(3, [(0, 1)], labels=[5, 6, 7])
+        assert [g.label(v) for v in range(3)] == [5, 6, 7]
+
+    def test_labels_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="labels"):
+            CSRGraph(3, [(0, 1)], labels=[1, 2])
+
+    def test_adjacency_sorted(self):
+        g = CSRGraph(5, [(2, 4), (2, 0), (2, 3), (2, 1)])
+        assert list(g.neighbors_of(2)) == [0, 1, 3, 4]
+
+
+class TestFromArrays:
+    def test_round_trip(self):
+        g = CSRGraph(4, [(0, 1), (1, 2), (2, 3), (0, 3)])
+        h = CSRGraph.from_arrays(g.offsets, g.neighbors)
+        assert h.num_vertices == g.num_vertices
+        assert h.num_edges == g.num_edges
+        assert np.array_equal(h.neighbors, g.neighbors)
+
+    def test_bad_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_arrays(np.array([0, 2, 1]), np.array([1, 0]))
+
+    def test_offsets_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_arrays(np.array([1, 2]), np.array([0]))
+
+    def test_neighbor_range_checked(self):
+        with pytest.raises(ValueError, match="range"):
+            CSRGraph.from_arrays(np.array([0, 1]), np.array([5]))
+
+    def test_offsets_end_must_match(self):
+        with pytest.raises(ValueError, match="offsets"):
+            CSRGraph.from_arrays(np.array([0, 3]), np.array([0, 0]))
+
+
+class TestQueries:
+    def test_has_edge(self):
+        g = CSRGraph(4, [(0, 1), (2, 3)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert g.has_edge(2, 3)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(0, 0)
+
+    def test_edge_index_is_physical_address(self):
+        g = CSRGraph(3, [(0, 1), (0, 2), (1, 2)])
+        idx = g.edge_index(1, 2)
+        assert idx is not None
+        assert g.neighbors[idx] == 2
+        assert g.offsets[1] <= idx < g.offsets[2]
+
+    def test_edge_index_missing(self):
+        g = CSRGraph(3, [(0, 1)])
+        assert g.edge_index(0, 2) is None
+
+    def test_edges_iterates_once_each(self):
+        pairs = [(0, 1), (1, 2), (0, 2), (2, 3)]
+        g = CSRGraph(4, pairs)
+        assert sorted(g.edges()) == sorted(pairs)
+
+    def test_degrees_matches_offsets(self):
+        g = CSRGraph(4, [(0, 1), (0, 2), (0, 3)])
+        assert list(g.degrees()) == [3, 1, 1, 1]
+
+    def test_induced_adjacency_triangle(self):
+        g = CSRGraph(4, [(0, 1), (1, 2), (0, 2)])
+        mask = g.induced_adjacency([0, 1, 2])
+        # All three pairs adjacent: 6 bits set (symmetric).
+        assert bin(mask).count("1") == 6
+
+    @given(small_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_has_edge_symmetric(self, g):
+        for u in range(g.num_vertices):
+            for v in g.neighbors_of(u):
+                assert g.has_edge(u, int(v))
+                assert g.has_edge(int(v), u)
+
+    @given(small_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_degree_sum_is_twice_edges(self, g):
+        assert int(g.degrees().sum()) == 2 * g.num_edges
+
+
+class TestRelabeled:
+    def test_identity(self):
+        g = CSRGraph(3, [(0, 1), (1, 2)])
+        h = g.relabeled([0, 1, 2])
+        assert sorted(h.edges()) == sorted(g.edges())
+
+    def test_reverse_permutation(self):
+        g = CSRGraph(3, [(0, 1)], labels=[10, 20, 30])
+        h = g.relabeled([2, 1, 0])
+        assert h.has_edge(2, 1)
+        assert not h.has_edge(0, 1)
+        assert h.label(2) == 10 and h.label(0) == 30
+
+    def test_invalid_permutation_rejected(self):
+        g = CSRGraph(3, [(0, 1)])
+        with pytest.raises(ValueError, match="bijection"):
+            g.relabeled([0, 0, 1])
+
+    @given(small_graphs(min_vertices=2), st.randoms())
+    @settings(max_examples=30, deadline=None)
+    def test_relabel_preserves_structure(self, g, rnd):
+        perm = list(range(g.num_vertices))
+        rnd.shuffle(perm)
+        h = g.relabeled(perm)
+        assert h.num_edges == g.num_edges
+        for u, v in g.edges():
+            assert h.has_edge(perm[u], perm[v])

@@ -1,0 +1,166 @@
+"""Synthetic graph generators."""
+
+import pytest
+
+from repro.graph.generators import (
+    clique,
+    complete_bipartite,
+    cycle,
+    erdos_renyi,
+    grid,
+    path,
+    powerlaw_cluster,
+    random_labels,
+    rmat,
+    star,
+)
+from repro.graph.stats import degree_stats, gini_coefficient
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi(100, 250, seed=1)
+        assert g.num_vertices == 100
+        assert g.num_edges == 250
+
+    def test_deterministic(self):
+        a = erdos_renyi(50, 100, seed=9)
+        b = erdos_renyi(50, 100, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi(50, 100, seed=1)
+        b = erdos_renyi(50, 100, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError, match="possible"):
+            erdos_renyi(4, 7)
+
+    def test_complete_graph_possible(self):
+        g = erdos_renyi(5, 10, seed=0)
+        assert g.num_edges == 10
+
+
+class TestPowerlawCluster:
+    def test_basic_shape(self):
+        g = powerlaw_cluster(500, 3, 0.4, seed=0)
+        assert g.num_vertices == 500
+        # ~3 edges per arriving vertex.
+        assert 1000 < g.num_edges < 1600
+
+    def test_skewed_degrees(self):
+        pl = powerlaw_cluster(500, 3, 0.3, seed=1)
+        er = erdos_renyi(500, pl.num_edges, seed=1)
+        assert gini_coefficient(pl.degrees()) > gini_coefficient(er.degrees())
+
+    def test_max_degree_cap_enforced(self):
+        g = powerlaw_cluster(800, 3, 0.3, seed=2, max_degree=20)
+        assert int(g.degrees().max()) <= 20
+
+    def test_cap_preserves_skew(self):
+        g = powerlaw_cluster(800, 3, 0.3, seed=2, max_degree=25)
+        stats = degree_stats(g)
+        assert stats.top5_degree_share > 0.10  # hubs still dominate
+
+    def test_deterministic(self):
+        a = powerlaw_cluster(200, 2, 0.2, seed=5)
+        b = powerlaw_cluster(200, 2, 0.2, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster(10, 0)
+        with pytest.raises(ValueError):
+            powerlaw_cluster(3, 5)
+        with pytest.raises(ValueError):
+            powerlaw_cluster(10, 2, triad_probability=1.5)
+        with pytest.raises(ValueError):
+            powerlaw_cluster(10, 3, max_degree=2)
+
+
+class TestStructured:
+    def test_clique(self):
+        g = clique(6)
+        assert g.num_edges == 15
+        assert all(g.degree(v) == 5 for v in range(6))
+
+    def test_star(self):
+        g = star(7)
+        assert g.num_vertices == 8
+        assert g.degree(0) == 7
+        assert all(g.degree(v) == 1 for v in range(1, 8))
+
+    def test_cycle(self):
+        g = cycle(5)
+        assert g.num_edges == 5
+        assert all(g.degree(v) == 2 for v in range(5))
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle(2)
+
+    def test_path(self):
+        g = path(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1 and g.degree(4) == 1
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite(2, 3)
+        assert g.num_edges == 6
+        assert not g.has_edge(0, 1)  # same side
+        assert g.has_edge(0, 2)
+
+    def test_grid(self):
+        g = grid(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+
+
+class TestRMAT:
+    def test_vertex_count_power_of_two(self):
+        g = rmat(scale=8, edge_factor=4, seed=1)
+        assert g.num_vertices == 256
+        assert g.num_edges > 0
+
+    def test_skewed_degrees(self):
+        g = rmat(scale=9, edge_factor=8, seed=2)
+        stats = degree_stats(g)
+        assert stats.top5_degree_share > 0.15
+        assert stats.max_degree > 4 * stats.mean_degree
+
+    def test_deterministic(self):
+        a = rmat(scale=7, seed=3)
+        b = rmat(scale=7, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rmat(scale=0)
+        with pytest.raises(ValueError):
+            rmat(scale=5, edge_factor=0)
+        with pytest.raises(ValueError):
+            rmat(scale=5, probabilities=(0.5, 0.5, 0.5, 0.5))
+
+    def test_mineable(self):
+        from repro.mining.apps import CliqueFinding
+        from repro.mining.engine import run_dfs
+
+        g = rmat(scale=8, edge_factor=4, seed=4)
+        app = run_dfs(g, CliqueFinding(3))
+        assert app.num_cliques >= 0  # runs to completion
+
+
+class TestRandomLabels:
+    def test_labels_in_range(self):
+        g = random_labels(cycle(20), 4, seed=3)
+        assert set(int(l) for l in g.labels) <= set(range(4))
+
+    def test_topology_unchanged(self):
+        base = powerlaw_cluster(100, 2, seed=4)
+        labeled = random_labels(base, 3, seed=4)
+        assert sorted(labeled.edges()) == sorted(base.edges())
+
+    def test_invalid_label_count(self):
+        with pytest.raises(ValueError):
+            random_labels(cycle(5), 0)

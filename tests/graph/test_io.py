@@ -1,0 +1,50 @@
+"""Edge-list IO round trips and parsing."""
+
+import pytest
+
+from repro.graph.generators import powerlaw_cluster
+from repro.graph.io import load_edge_list, parse_edge_list, save_edge_list
+
+
+class TestParse:
+    def test_basic(self):
+        g = parse_edge_list(["0 1", "1 2"])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_comments_and_blanks_skipped(self):
+        g = parse_edge_list(["# SNAP header", "", "0 1", "  ", "# more", "1 2"])
+        assert g.num_edges == 2
+
+    def test_sparse_ids_compacted(self):
+        g = parse_edge_list(["100 900", "900 5000"])
+        assert g.num_vertices == 3
+        assert g.has_edge(0, 1) and g.has_edge(1, 2)
+
+    def test_extra_columns_ignored(self):
+        g = parse_edge_list(["0 1 42"])
+        assert g.num_edges == 1
+
+    def test_bad_line_raises_with_lineno(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_edge_list(["0 1", "zzz"])
+
+    def test_non_integer_raises(self):
+        with pytest.raises(ValueError, match="non-integer"):
+            parse_edge_list(["a b"])
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        g = powerlaw_cluster(80, 3, 0.2, seed=6)
+        target = tmp_path / "graph.txt"
+        save_edge_list(g, target)
+        h = load_edge_list(target)
+        assert h.num_vertices == g.num_vertices
+        assert sorted(h.edges()) == sorted(g.edges())
+
+    def test_header_comment_written(self, tmp_path):
+        g = powerlaw_cluster(30, 2, seed=1)
+        target = tmp_path / "g.txt"
+        save_edge_list(g, target)
+        assert target.read_text().startswith("#")

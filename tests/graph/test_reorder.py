@@ -1,0 +1,86 @@
+"""Graph reordering (the §IV-C rank == ID trick)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import powerlaw_cluster, star
+from repro.graph.reorder import (
+    rank_permutation,
+    reorder_by_on1,
+    reorder_by_scores,
+)
+
+
+class TestRankPermutation:
+    def test_descending_scores(self):
+        perm = rank_permutation(np.array([10.0, 30.0, 20.0]))
+        # vertex 1 has the top score -> rank 0.
+        assert list(perm) == [2, 0, 1]
+
+    def test_ties_broken_by_id(self):
+        perm = rank_permutation(np.array([5.0, 5.0, 5.0]))
+        assert list(perm) == [0, 1, 2]
+
+    @given(st.lists(st.floats(0, 1e6, allow_nan=False), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_is_a_permutation(self, scores):
+        perm = rank_permutation(np.array(scores))
+        assert sorted(perm.tolist()) == list(range(len(scores)))
+
+    @given(st.lists(st.floats(0, 1e6, allow_nan=False), min_size=2, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_rank_order_matches_score_order(self, scores):
+        arr = np.array(scores)
+        perm = rank_permutation(arr)
+        by_rank = np.empty(len(arr))
+        by_rank[perm] = arr
+        # Scores must be non-increasing along ranks.
+        assert all(by_rank[i] >= by_rank[i + 1] for i in range(len(arr) - 1))
+
+
+class TestReorderByScores:
+    def test_top_vertex_becomes_zero(self):
+        g = star(9)  # hub is vertex 0 already; invert scores to move it
+        scores = np.array([0.0] + [float(i) for i in range(1, 10)])
+        h = reorder_by_scores(g, scores)
+        # Highest score was old vertex 9 -> becomes new vertex 0.
+        assert h.degree(9) != 0  # structure retained somewhere
+        assert h.num_edges == g.num_edges
+
+    def test_wrong_length_rejected(self):
+        g = star(3)
+        with pytest.raises(ValueError):
+            reorder_by_scores(g, np.array([1.0, 2.0]))
+
+
+class TestReorderByOn1:
+    def test_rank_zero_is_hub(self):
+        g = star(20)
+        result = reorder_by_on1(g)
+        # After reordering the hub (max ON1) must be vertex 0.
+        assert result.graph.degree(0) == 20
+        assert result.permutation[0] == 0  # old hub -> rank 0
+
+    def test_structure_preserved(self):
+        g = powerlaw_cluster(150, 3, 0.3, seed=8)
+        result = reorder_by_on1(g)
+        assert result.graph.num_edges == g.num_edges
+        assert sorted(result.graph.degrees().tolist()) == sorted(
+            g.degrees().tolist()
+        )
+
+    def test_identity_invariant_rank_equals_id(self):
+        g = powerlaw_cluster(120, 2, 0.2, seed=9)
+        result = reorder_by_on1(g)
+        # Re-scoring the reordered graph must rank vertex IDs ascending:
+        # the reordered graph's ON1 scores are non-increasing in ID.
+        from repro.locality.occurrence import occurrence_numbers
+
+        scores = occurrence_numbers(result.graph, hops=1)
+        assert all(scores[i] >= scores[i + 1] for i in range(len(scores) - 1))
+
+    def test_timing_recorded(self):
+        result = reorder_by_on1(star(10))
+        assert result.seconds >= 0.0

@@ -1,0 +1,77 @@
+"""Degree statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import clique, erdos_renyi, star
+from repro.graph.stats import degree_stats, gini_coefficient, top_share
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(10, 7.0)) == pytest.approx(0.0)
+
+    def test_concentrated_is_high(self):
+        values = np.zeros(100)
+        values[0] = 1000
+        assert gini_coefficient(values) > 0.95
+
+    def test_zero_total(self):
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            gini_coefficient(np.array([]))
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_bounds(self, values):
+        g = gini_coefficient(np.array(values, dtype=float))
+        assert -1e-9 <= g < 1.0
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_scale_invariant(self, values):
+        arr = np.array(values, dtype=float)
+        assert gini_coefficient(arr) == pytest.approx(
+            gini_coefficient(arr * 3.5), abs=1e-9
+        )
+
+
+class TestTopShare:
+    def test_full_fraction_is_one(self):
+        assert top_share(np.array([1.0, 2, 3]), 1.0) == pytest.approx(1.0)
+
+    def test_star_concentration(self):
+        g = star(99)  # vertex 0 holds half the endpoint mass
+        assert top_share(g.degrees(), 0.01) == pytest.approx(0.5)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            top_share(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            top_share(np.array([1.0]), 1.5)
+
+    def test_zero_mass(self):
+        assert top_share(np.zeros(10), 0.5) == 0.0
+
+
+class TestDegreeStats:
+    def test_clique(self):
+        s = degree_stats(clique(5))
+        assert s.min_degree == s.max_degree == 4
+        assert s.mean_degree == pytest.approx(4.0)
+        assert s.gini == pytest.approx(0.0)
+
+    def test_describe_contains_counts(self):
+        s = degree_stats(erdos_renyi(40, 60, seed=2))
+        text = s.describe()
+        assert "|V|=40" in text and "|E|=60" in text
+
+    def test_empty_graph_rejected(self):
+        from repro.graph.csr import CSRGraph
+
+        with pytest.raises(ValueError):
+            degree_stats(CSRGraph(0, []))

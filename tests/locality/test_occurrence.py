@@ -1,0 +1,143 @@
+"""ON_k occurrence numbers (Equation 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import clique, path, powerlaw_cluster, star
+from repro.locality.occurrence import (
+    edge_scores_from_vertex_scores,
+    occurrence_numbers,
+    timed_occurrence_numbers,
+    top_fraction_vertices,
+)
+
+from ..conftest import small_graphs
+
+
+def brute_force_on(graph, v, hops):
+    """Reference ON via explicit BFS distance classes."""
+    from collections import deque
+
+    dist = {v: 0}
+    queue = deque([v])
+    while queue:
+        u = queue.popleft()
+        if dist[u] >= hops:
+            continue
+        for w in graph.neighbors_of(u).tolist():
+            if w not in dist:
+                dist[w] = dist[u] + 1
+                queue.append(w)
+    product = 1.0
+    for d in range(hops + 1):
+        product *= sum(
+            graph.degree(u) for u, du in dist.items() if du == d
+        )
+    return product
+
+
+class TestON0:
+    def test_equals_degree(self, pl_graph):
+        assert np.array_equal(
+            occurrence_numbers(pl_graph, hops=0), pl_graph.degrees()
+        )
+
+
+class TestON1:
+    def test_star_hub_dominates(self):
+        g = star(10)
+        scores = occurrence_numbers(g, hops=1)
+        assert scores[0] == max(scores)
+        # Hub: deg 10 × (sum of leaf degrees = 10) = 100.
+        assert scores[0] == pytest.approx(100.0)
+        # Leaf: deg 1 × hub degree 10 = 10.
+        assert scores[1] == pytest.approx(10.0)
+
+    def test_path_interior(self):
+        g = path(3)  # 0-1-2
+        scores = occurrence_numbers(g, hops=1)
+        assert scores[1] == pytest.approx(2.0 * 2.0)  # deg 2 × (1+1)
+        assert scores[0] == pytest.approx(1.0 * 2.0)
+
+    @given(small_graphs(min_vertices=2, max_vertices=10))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, g):
+        scores = occurrence_numbers(g, hops=1)
+        for v in range(g.num_vertices):
+            assert scores[v] == pytest.approx(brute_force_on(g, v, 1))
+
+    def test_figure4_example(self):
+        """The worked example of Fig. 4: vertex 8's access frequency grows.
+
+        The sample graph of Fig. 1/Fig. 4: 8 vertices, 12 edges; the hub ❽
+        has high ON1 and must land in the top ranks.
+        """
+        edges = [
+            (1, 2), (1, 5), (1, 8),
+            (2, 5), (2, 8),
+            (3, 4), (3, 6), (3, 8),
+            (4, 6),
+            (5, 7), (5, 8),
+            (4, 8),
+        ]
+        g = CSRGraph(9, [(u, v) for u, v in edges])  # vertex 0 unused
+        scores = occurrence_numbers(g, hops=1)
+        ranked = np.argsort(-scores)
+        assert ranked[0] == 8  # the highest-degree, best-connected vertex
+
+
+class TestDeepHops:
+    @given(small_graphs(min_vertices=2, max_vertices=8))
+    @settings(max_examples=25, deadline=None)
+    def test_hops2_matches_brute_force(self, g):
+        scores = occurrence_numbers(g, hops=2)
+        for v in range(g.num_vertices):
+            assert scores[v] == pytest.approx(brute_force_on(g, v, 2))
+
+    def test_clique_uniform(self):
+        scores = occurrence_numbers(clique(5), hops=2)
+        assert np.allclose(scores, scores[0])
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            occurrence_numbers(clique(3), hops=-1)
+
+
+class TestTimedComputation:
+    def test_overhead_grows_with_hops(self):
+        g = powerlaw_cluster(400, 3, 0.3, seed=4)
+        t1 = timed_occurrence_numbers(g, 1)
+        t3 = timed_occurrence_numbers(g, 3)
+        assert t3.seconds > t1.seconds  # Fig. 8b's trend
+        assert t1.hops == 1 and t3.hops == 3
+
+
+class TestTopFraction:
+    def test_count(self):
+        scores = np.arange(100, dtype=float)
+        top = top_fraction_vertices(scores, 0.05)
+        assert top == {99, 98, 97, 96, 95}
+
+    def test_at_least_one(self):
+        assert len(top_fraction_vertices(np.array([1.0, 2.0]), 0.01)) == 1
+
+    def test_ties_deterministic(self):
+        top = top_fraction_vertices(np.ones(10), 0.2)
+        assert top == {0, 1}
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            top_fraction_vertices(np.ones(3), 0.0)
+
+
+class TestEdgeScores:
+    def test_inherits_source(self):
+        g = star(3)
+        vscores = occurrence_numbers(g, 1)
+        escores = edge_scores_from_vertex_scores(g, vscores)
+        # Hub's slots carry the hub's score.
+        for i in range(g.offsets[0], g.offsets[1]):
+            assert escores[i] == vscores[0]
+        assert len(escores) == len(g.neighbors)

@@ -1,0 +1,69 @@
+"""Stride-based access classification."""
+
+from repro.locality.stride import AccessMix, StrideClassifier
+
+
+class TestStrideClassifier:
+    def test_sequential_edge_run(self):
+        c = StrideClassifier()
+        for i in range(5):
+            c.edge(10 + i, src=3)
+        assert c.mix.sequential_edge == 4
+        assert c.mix.random_edge == 1  # the first access of a stream
+
+    def test_interleaved_streams_tracked_per_source(self):
+        c = StrideClassifier()
+        c.edge(0, src=1)
+        c.edge(100, src=2)
+        c.edge(1, src=1)  # continues stream 1 despite the interleave
+        c.edge(101, src=2)
+        assert c.mix.sequential_edge == 2
+        assert c.mix.random_edge == 2
+
+    def test_random_vertex_jumps(self):
+        c = StrideClassifier()
+        for v in (5, 90, 7, 200):
+            c.vertex(v)
+        assert c.mix.random_vertex == 4
+
+    def test_sequential_vertex_sweep(self):
+        c = StrideClassifier()
+        for v in range(6):
+            c.vertex(v)
+        assert c.mix.sequential_vertex == 5
+
+    def test_fractions_sum_to_one(self):
+        c = StrideClassifier()
+        c.vertex(0)
+        c.vertex(1)
+        c.edge(0, 0)
+        fractions = c.mix.fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+    def test_empty_mix(self):
+        mix = AccessMix()
+        assert mix.total == 0
+        assert mix.random_vertex_share == 0.0
+        assert all(v == 0.0 for v in mix.fractions().values())
+
+
+class TestFig02Experiment:
+    def test_mining_randomises_edges_more_than_processing(self):
+        from repro.experiments import fig02_patterns
+
+        rows = fig02_patterns.run("tiny")
+        processing = [r for r in rows if r["class"] == "processing"]
+        mining = [r for r in rows if r["class"] == "mining"]
+        avg_proc = sum(r["random_edge_share"] for r in processing) / len(
+            processing
+        )
+        avg_mine = sum(r["random_edge_share"] for r in mining) / len(mining)
+        assert avg_mine > avg_proc
+
+    def test_processing_vertex_accesses_mostly_random(self):
+        from repro.experiments import fig02_patterns
+
+        rows = fig02_patterns.run("tiny")
+        for r in rows:
+            if r["class"] == "processing":
+                assert r["random_vertex_share"] > 0.8

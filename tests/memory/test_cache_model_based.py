@@ -1,0 +1,64 @@
+"""Model-based property test: the cache vs a reference implementation.
+
+The reference keeps, per set, an ordered dict of resident tags (most
+recently used last) — the textbook definition of a set-associative LRU
+cache.  Every access sequence must produce the identical hit/miss sequence.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import SetAssociativeCache
+from repro.memory.policies import LRUPolicy
+
+
+class ReferenceLRUCache:
+    """Oracle: per-set OrderedDict LRU."""
+
+    def __init__(self, num_sets: int, ways: int, line_size: int) -> None:
+        self.num_sets = num_sets
+        self.ways = ways
+        self.line_size = line_size
+        self.sets = [OrderedDict() for _ in range(num_sets)]
+
+    def access(self, address: int) -> bool:
+        tag = address // self.line_size
+        index = tag % self.num_sets
+        resident = self.sets[index]
+        if tag in resident:
+            resident.move_to_end(tag)
+            return True
+        if len(resident) == self.ways:
+            resident.popitem(last=False)
+        resident[tag] = True
+        return False
+
+
+@given(
+    st.integers(1, 4),  # num_sets
+    st.integers(1, 4),  # ways
+    st.integers(1, 4),  # line_size
+    st.lists(st.integers(0, 120), min_size=1, max_size=400),
+)
+@settings(max_examples=120, deadline=None)
+def test_lru_cache_matches_reference(num_sets, ways, line_size, addresses):
+    cache = SetAssociativeCache(
+        num_sets=num_sets, ways=ways, line_size=line_size, policy=LRUPolicy()
+    )
+    reference = ReferenceLRUCache(num_sets, ways, line_size)
+    for address in addresses:
+        assert cache.access(address) == reference.access(address), address
+
+
+@given(st.lists(st.integers(0, 60), min_size=1, max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_resident_set_matches_reference(addresses):
+    cache = SetAssociativeCache(num_sets=2, ways=3, policy=LRUPolicy())
+    reference = ReferenceLRUCache(2, 3, 1)
+    for address in addresses:
+        cache.access(address)
+        reference.access(address)
+    expected = {tag for s in reference.sets for tag in s}
+    assert cache.resident_tags() == expected

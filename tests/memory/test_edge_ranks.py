@@ -1,0 +1,50 @@
+"""Slot-granular edge rank positions (the reordered-CSR prefix view)."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.graph.generators import powerlaw_cluster, star
+from repro.graph.reorder import rank_permutation
+from repro.locality.occurrence import occurrence_numbers
+from repro.memory.hierarchy import edge_rank_positions
+
+from ..conftest import small_graphs
+
+
+class TestEdgeRankPositions:
+    def test_is_permutation_of_slots(self):
+        g = powerlaw_cluster(100, 3, 0.3, seed=4)
+        rank = rank_permutation(occurrence_numbers(g, 1))
+        positions = edge_rank_positions(g, rank)
+        assert sorted(positions.tolist()) == list(range(len(g.neighbors)))
+
+    def test_top_ranked_vertex_owns_prefix(self):
+        g = star(8)
+        rank = np.zeros(9, dtype=np.int64)
+        rank[0] = 0  # hub ranked first
+        rank[1:] = np.arange(1, 9)
+        positions = edge_rank_positions(g, rank)
+        hub_slots = positions[g.offsets[0] : g.offsets[1]]
+        assert set(hub_slots.tolist()) == set(range(8))
+
+    def test_positions_ordered_by_source_rank(self):
+        g = powerlaw_cluster(80, 2, 0.2, seed=5)
+        rank = rank_permutation(occurrence_numbers(g, 1))
+        positions = edge_rank_positions(g, rank)
+        # For any two slots, lower source rank implies earlier position.
+        src = np.repeat(np.arange(g.num_vertices), g.degrees())
+        order = np.argsort(positions)
+        ranks_along_positions = rank[src[order]]
+        assert all(
+            ranks_along_positions[i] <= ranks_along_positions[i + 1]
+            for i in range(len(ranks_along_positions) - 1)
+        )
+
+    @given(small_graphs(min_vertices=2, max_vertices=12))
+    @settings(max_examples=40, deadline=None)
+    def test_identity_rank_gives_identity_positions(self, g):
+        identity = np.arange(g.num_vertices, dtype=np.int64)
+        positions = edge_rank_positions(g, identity)
+        assert np.array_equal(
+            positions, np.arange(len(g.neighbors), dtype=np.int64)
+        )

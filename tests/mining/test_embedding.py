@@ -1,0 +1,43 @@
+"""The user-facing Embedding wrapper."""
+
+import pytest
+
+from repro.graph.generators import clique, cycle, path
+from repro.mining.embedding import Embedding
+
+
+class TestEmbedding:
+    def test_size_and_edges(self):
+        g = clique(4)
+        e = Embedding(g, (0, 1, 2))
+        assert e.size == 3
+        assert sorted(e.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_pattern_names(self):
+        g = cycle(5)
+        assert Embedding(g, (0, 1, 2)).pattern_name() == "wedge"
+        assert Embedding(clique(3), (0, 1, 2)).pattern_name() == "triangle"
+
+    def test_labeled_pattern(self):
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph(3, [(0, 1), (1, 2), (0, 2)], labels=[1, 2, 3])
+        code = Embedding(g, (0, 1, 2)).pattern(labeled=True)
+        assert sorted(code.labels) == [1, 2, 3]
+
+    def test_is_clique(self):
+        assert Embedding(clique(4), (0, 1, 2, 3)).is_clique
+        assert not Embedding(path(3), (0, 1, 2)).is_clique
+
+    def test_is_canonical(self):
+        g = path(3)
+        assert Embedding(g, (0, 1, 2)).is_canonical
+        assert not Embedding(g, (2, 1, 0)).is_canonical
+
+    def test_duplicate_vertices_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            Embedding(clique(3), (0, 0, 1))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="range"):
+            Embedding(clique(3), (0, 5))

@@ -1,0 +1,72 @@
+"""MiningResult export / import round trips."""
+
+import json
+
+from repro.graph.generators import clique, powerlaw_cluster, random_labels
+from repro.mining.apps import FrequentSubgraphMining, MotifCounting
+from repro.mining.engine import run_dfs
+from repro.mining.export import (
+    load_result,
+    result_from_json,
+    result_to_csv,
+    result_to_json,
+    result_to_records,
+    save_result,
+)
+
+
+def sample_result():
+    return run_dfs(clique(5), MotifCounting(4)).result()
+
+
+class TestRecords:
+    def test_rows_per_pattern(self):
+        records = result_to_records(sample_result())
+        assert {r["size"] for r in records} == {3, 4}
+        names = {r["pattern"] for r in records}
+        assert names == {"triangle", "4-clique"}
+
+    def test_counts_preserved(self):
+        result = sample_result()
+        records = result_to_records(result)
+        total = sum(r["count"] for r in records if r["size"] == 3)
+        assert total == sum(result.patterns_by_size[3].values())
+
+
+class TestJSONRoundTrip:
+    def test_lossless(self):
+        original = sample_result()
+        restored = result_from_json(result_to_json(original))
+        assert restored.app_name == original.app_name
+        assert restored.embeddings_by_size == original.embeddings_by_size
+        assert restored.patterns_by_size == original.patterns_by_size
+
+    def test_labeled_patterns_survive(self):
+        g = random_labels(powerlaw_cluster(60, 3, 0.4, seed=1), 3, seed=2)
+        original = run_dfs(g, FrequentSubgraphMining(2)).result()
+        restored = result_from_json(result_to_json(original))
+        assert restored.patterns_by_size == original.patterns_by_size
+
+    def test_json_is_valid(self):
+        payload = json.loads(result_to_json(sample_result()))
+        assert payload["app_name"] == "MC"
+
+    def test_file_round_trip(self, tmp_path):
+        original = sample_result()
+        target = tmp_path / "result.json"
+        save_result(original, target)
+        assert load_result(target).patterns_by_size == original.patterns_by_size
+
+
+class TestCSV:
+    def test_header_and_rows(self):
+        text = result_to_csv(sample_result())
+        lines = text.strip().splitlines()
+        assert lines[0] == "size,pattern,adjacency,labels,count"
+        assert len(lines) == 1 + len(result_to_records(sample_result()))
+
+    def test_labels_joined(self):
+        g = random_labels(clique(4), 2, seed=3)
+        result = run_dfs(g, FrequentSubgraphMining(1)).result()
+        text = result_to_csv(result)
+        assert "|" in text or result.patterns_by_size == {}

@@ -1,0 +1,166 @@
+"""Canonical pattern codes."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mining.patterns import (
+    MAX_PATTERN_SIZE,
+    PatternCode,
+    canonical_code,
+    code_from_columns,
+    pattern_name,
+)
+
+
+class TestCanonicalCode:
+    def test_triangle_known(self):
+        code = canonical_code([(0, 1), (1, 2), (0, 2)], 3)
+        assert code.size == 3
+        assert code.num_edges == 3
+        assert code.is_clique
+        assert pattern_name(code) == "triangle"
+
+    def test_wedge_known(self):
+        code = canonical_code([(0, 1), (1, 2)], 3)
+        assert pattern_name(code) == "wedge"
+        assert not code.is_clique
+
+    def test_wedge_center_invariant(self):
+        # All three choices of wedge center give the same code.
+        codes = {
+            canonical_code([(0, 1), (0, 2)], 3),
+            canonical_code([(1, 0), (1, 2)], 3),
+            canonical_code([(2, 0), (2, 1)], 3),
+        }
+        assert len(codes) == 1
+
+    def test_four_vertex_census_has_six_connected_patterns(self):
+        codes = set()
+        for edge_subset in _all_graphs(4):
+            code = canonical_code(edge_subset, 4)
+            if code.is_connected:
+                codes.add(code)
+        assert len(codes) == 6  # path, star, cycle, tailed-tri, diamond, clique
+
+    def test_named_four_patterns(self):
+        names = {
+            pattern_name(canonical_code(e, 4))
+            for e in (
+                [(0, 1), (1, 2), (2, 3)],
+                [(0, 1), (0, 2), (0, 3)],
+                [(0, 1), (1, 2), (2, 3), (3, 0)],
+                [(0, 1), (1, 2), (0, 2), (2, 3)],
+                [(0, 1), (1, 2), (0, 2), (0, 3), (2, 3)],
+                list(itertools.combinations(range(4), 2)),
+            )
+        }
+        assert names == {
+            "3-path", "3-star", "4-cycle",
+            "tailed-triangle", "diamond", "4-clique",
+        }
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError, match="MAX_PATTERN_SIZE"):
+            canonical_code([], MAX_PATTERN_SIZE + 1)
+
+    def test_bad_edge_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_code([(0, 3)], 3)
+        with pytest.raises(ValueError):
+            canonical_code([(1, 1)], 3)
+
+    def test_labels_distinguish(self):
+        plain = canonical_code([(0, 1)], 2, (0, 0))
+        labeled = canonical_code([(0, 1)], 2, (0, 1))
+        assert plain != labeled
+
+    def test_label_permutation_invariant(self):
+        a = canonical_code([(0, 1), (1, 2)], 3, (5, 9, 5))
+        b = canonical_code([(2, 1), (1, 0)], 3, (5, 9, 5))
+        assert a == b
+
+    def test_label_length_checked(self):
+        with pytest.raises(ValueError):
+            canonical_code([(0, 1)], 2, (1,))
+
+
+def _all_graphs(n):
+    pairs = list(itertools.combinations(range(n), 2))
+    for r in range(len(pairs) + 1):
+        for subset in itertools.combinations(pairs, r):
+            yield list(subset)
+
+
+class TestIsomorphismInvariance:
+    @given(
+        st.integers(3, 5),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_permutation_invariance(self, n, data):
+        pairs = list(itertools.combinations(range(n), 2))
+        edges = data.draw(
+            st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs))
+        )
+        labels = tuple(data.draw(st.integers(0, 2)) for _ in range(n))
+        perm = data.draw(st.permutations(range(n)))
+        permuted_edges = [(perm[u], perm[v]) for u, v in edges]
+        permuted_labels = tuple(labels[perm.index(i)] for i in range(n))
+        assert canonical_code(edges, n, labels) == canonical_code(
+            permuted_edges, n, permuted_labels
+        )
+
+    def test_non_isomorphic_differ(self):
+        import networkx as nx
+
+        n = 4
+        codes = {}
+        for edges in _all_graphs(n):
+            code = canonical_code(edges, n)
+            key = code
+            g = nx.Graph(edges)
+            g.add_nodes_from(range(n))
+            if key in codes:
+                assert nx.is_isomorphic(g, codes[key])
+            else:
+                codes[key] = g
+
+
+class TestCodeFromColumns:
+    def test_matches_edge_form(self):
+        # Triangle built incrementally: columns[1]=0b1, columns[2]=0b11.
+        code = code_from_columns((0, 0b1, 0b11))
+        assert pattern_name(code) == "triangle"
+
+    def test_wedge_columns(self):
+        code = code_from_columns((0, 0b1, 0b10))
+        assert pattern_name(code) == "wedge"
+
+
+class TestPatternCode:
+    def test_connected_detection(self):
+        connected = canonical_code([(0, 1), (1, 2)], 3)
+        assert connected.is_connected
+        disconnected = canonical_code([(0, 1)], 3)
+        assert not disconnected.is_connected
+
+    def test_edges_round_trip(self):
+        original = [(0, 1), (1, 2), (2, 3)]
+        code = canonical_code(original, 4)
+        assert canonical_code(code.edges(), 4) == code
+
+    def test_str_contains_name(self):
+        assert "triangle" in str(canonical_code([(0, 1), (1, 2), (0, 2)], 3))
+
+    def test_unknown_pattern_name_is_descriptive(self):
+        code = canonical_code([(0, 1), (2, 3), (4, 0)], 5)
+        assert "n=5" in pattern_name(code)
+
+    def test_codes_are_hashable_and_ordered(self):
+        a = canonical_code([(0, 1)], 2)
+        b = canonical_code([(0, 1), (1, 2)], 3)
+        assert len({a, b}) == 2
+        assert (a < b) or (b < a)

@@ -1,0 +1,55 @@
+"""The gramer CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_datasets_listing(self, capsys):
+        main(["datasets", "--scale", "tiny"])
+        out = capsys.readouterr().out
+        assert "citeseer" in out and "lj" in out
+        assert "paper:" in out
+
+    def test_mine_dataset(self, capsys):
+        main(["mine", "--dataset", "citeseer", "--scale", "tiny",
+              "--app", "3-CF"])
+        out = capsys.readouterr().out
+        assert "mined in" in out
+        assert "embeddings by size" in out
+
+    def test_mine_edge_list_file(self, tmp_path, capsys):
+        target = tmp_path / "g.txt"
+        target.write_text("0 1\n1 2\n0 2\n")
+        main(["mine", "--graph", str(target), "--app", "3-CF"])
+        out = capsys.readouterr().out
+        assert "3: 1" in out  # exactly one triangle
+
+    def test_mine_fsm(self, capsys):
+        main(["mine", "--dataset", "p2p", "--scale", "tiny",
+              "--app", "FSM-5"])
+        out = capsys.readouterr().out
+        assert "summary" in out
+
+    def test_simulate(self, capsys):
+        main(["simulate", "--dataset", "p2p", "--scale", "tiny",
+              "--app", "3-CF", "--slots", "4"])
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "hit ratios" in out
+
+    def test_simulate_no_stealing(self, capsys):
+        main(["simulate", "--dataset", "citeseer", "--scale", "tiny",
+              "--app", "3-CF", "--no-stealing"])
+        assert "steals 0" in capsys.readouterr().out
+
+    def test_missing_graph_errors(self):
+        with pytest.raises(SystemExit):
+            main(["mine", "--app", "3-CF"])
+
+    def test_experiment_subset(self, tmp_path, capsys):
+        main(["experiment", "--scale", "tiny", "--only", "table4",
+              "--out", str(tmp_path)])
+        assert (tmp_path / "table4.txt").exists()
+        assert (tmp_path / "results.json").exists()
