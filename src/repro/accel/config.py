@@ -11,7 +11,7 @@ The card is clocked conservatively at 200 MHz.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["GramerConfig", "ALVEO_U250_BRAM_BYTES"]
 

@@ -203,7 +203,7 @@ class GramerSimulator:
                     ):
                         if len(slot.stack) >= cfg.ancestor_depth:
                             raise AncestorBufferOverflowError(
-                                f"extension depth exceeds ancestor buffer "
+                                "extension depth exceeds ancestor buffer "
                                 f"capacity {cfg.ancestor_depth}"
                             )
                         slot.stack.append(Frame(vertices, columns))

@@ -5,7 +5,8 @@
     gramer mine --graph edges.txt --app 3-CF
     gramer mine --dataset mico --app 4-MC --scale small
     gramer simulate --dataset p2p --app 5-CF --slots 16
-    gramer experiment --only table3 fig12 --scale small
+    gramer experiment --only table3 fig12 --scale small --jobs 4
+    gramer sweep --apps 3-CF 4-MC --datasets citeseer p2p --jobs 4
     gramer datasets
 
 (``gramer`` is the console script; ``python -m repro.cli`` works too.)
@@ -14,7 +15,6 @@
 from __future__ import annotations
 
 import argparse
-import sys
 import time
 
 from repro.accel.energy import gramer_energy
@@ -99,7 +99,103 @@ def _cmd_experiment(args) -> None:
     forwarded = ["--scale", args.scale, "--out", args.out]
     if args.only:
         forwarded += ["--only", *args.only]
+    if args.jobs is not None:
+        forwarded += ["--jobs", str(args.jobs)]
+    if args.no_cache:
+        forwarded += ["--no-cache"]
     run_all_main(forwarded)
+
+
+def _cmd_sweep(args) -> None:
+    """Cross-product sweep of apps × datasets × backends via the runtime."""
+    from repro.experiments import datasets
+    from repro.experiments.harness import (
+        cell_jobspec,
+        format_seconds,
+        format_table,
+        save_results,
+    )
+    from repro.runtime import Executor, backend_names
+
+    backends = args.backends or ["gramer", "fractal", "rstream"]
+    known = backend_names()
+    for backend in backends:
+        if backend not in known:
+            raise SystemExit(
+                f"unknown backend {backend!r}; registered: {known}"
+            )
+    graphs = args.datasets or list(datasets.DATASET_ORDER)
+    for name in graphs:
+        if name not in datasets.DATASETS:
+            raise SystemExit(
+                f"unknown dataset {name!r}; see `gramer datasets`"
+            )
+    specs = [
+        cell_jobspec(backend, app, graph, args.scale)
+        for app in args.apps
+        for graph in graphs
+        for backend in backends
+    ]
+    executor = Executor(
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        use_cache=not args.no_cache,
+    )
+    start = time.perf_counter()
+    results = executor.run(specs)
+    wall = time.perf_counter() - start
+
+    rows = []
+    for result in results:
+        spec = result.spec
+        if result.ok:
+            status = "cached" if result.cached else "ok"
+        else:
+            status = f"failed: {result.error}"
+        rows.append([
+            spec.app,
+            spec.graph_name,
+            result.system,
+            format_seconds(result.seconds),
+            f"{result.energy_j * 1e3:.3f}mJ" if result.energy_j else "-",
+            status,
+        ])
+    print(format_table(
+        ["App", "Graph", "System", "Modeled", "Energy", "Status"], rows
+    ))
+    cached = sum(1 for r in results if r.cached)
+    failed = sum(1 for r in results if not r.ok)
+    print(
+        f"{len(results)} jobs ({cached} cached, {failed} failed) in "
+        f"{wall:.2f}s with {executor.jobs} worker(s)"
+    )
+    if args.out:
+        save_results(
+            {
+                "scale": args.scale,
+                "jobs": executor.jobs,
+                "results": [
+                    {
+                        "backend": r.spec.backend,
+                        "app": r.spec.app,
+                        "graph": r.spec.graph_name,
+                        "scale": r.spec.scale,
+                        "ok": r.ok,
+                        "seconds": r.seconds,
+                        "energy_j": r.energy_j,
+                        "wall_seconds": r.wall_seconds,
+                        "cached": r.cached,
+                        "error": r.error,
+                        "detail": r.detail,
+                    }
+                    for r in results
+                ],
+            },
+            args.out,
+        )
+        print(f"wrote {args.out}")
+    if failed:
+        raise SystemExit(1)
 
 
 def _cmd_datasets(args) -> None:
@@ -148,7 +244,33 @@ def main(argv: list[str] | None = None) -> None:
                             choices=["tiny", "small", "full"])
     experiment.add_argument("--out", default="results")
     experiment.add_argument("--only", nargs="*", default=None)
+    experiment.add_argument("--jobs", type=int, default=None,
+                            help="process-pool width (default: $GRAMER_JOBS or 1)")
+    experiment.add_argument("--no-cache", action="store_true",
+                            help="recompute cells instead of reusing cached results")
     experiment.set_defaults(func=_cmd_experiment)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a cross-product of apps × datasets × backends",
+    )
+    sweep.add_argument("--apps", nargs="+", required=True,
+                       help="applications, e.g. 3-CF 4-MC FSM-100")
+    sweep.add_argument("--datasets", nargs="*", default=None,
+                       help="proxy datasets (default: all seven)")
+    sweep.add_argument("--backends", nargs="*", default=None,
+                       help="backends (default: gramer fractal rstream)")
+    sweep.add_argument("--scale", default="small",
+                       choices=["tiny", "small", "full"])
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="process-pool width (default: $GRAMER_JOBS or 1)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-job timeout in seconds (pool mode)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="recompute cells instead of reusing cached results")
+    sweep.add_argument("--out", default=None,
+                       help="write structured sweep results to this JSON file")
+    sweep.set_defaults(func=_cmd_sweep)
 
     ds = sub.add_parser("datasets", help="list the dataset proxies")
     ds.add_argument("--scale", default="small",

@@ -19,8 +19,6 @@ calls them out and this module quantifies each:
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.accel.sim import GramerSimulator
 
 from . import datasets

@@ -147,25 +147,45 @@ SMALL_GRAPHS = ["citeseer", "p2p"]
 MEDIUM_GRAPHS = ["astro", "mico"]
 LARGE_GRAPHS = ["patents", "yt", "lj"]
 
-_CACHE: dict[tuple[str, str, bool], CSRGraph] = {}
+# Bump when the generator recipes above change: the artifact cache addresses
+# proxies by (name, scale, salt), not by the builder closures themselves.
+_GENERATOR_SALT = 1
+
+
+def _graph_key(name: str, scale: str, labeled: bool) -> dict:
+    return {
+        "dataset": name,
+        "scale": scale,
+        "labeled": labeled,
+        "num_labels": FSM_NUM_LABELS if labeled else 0,
+        "salt": _GENERATOR_SALT,
+    }
 
 
 def load(name: str, scale: str = "small") -> CSRGraph:
-    """Load (and memoise) one proxy graph."""
-    key = (name, scale, False)
-    if key not in _CACHE:
-        _CACHE[key] = DATASETS[name].build(scale)
-    return _CACHE[key]
+    """Load one proxy graph, memoised through the artifact cache.
+
+    Repeated calls in one process return the same object (in-memory LRU);
+    across processes — including executor pool workers — the generated
+    graph is reloaded from the disk tier instead of being regenerated.
+    """
+    from repro.runtime.cache import default_cache
+
+    spec = DATASETS[name]
+    return default_cache().get_or_create(
+        "graph", _graph_key(name, scale, False), lambda: spec.build(scale)
+    )
 
 
 def load_labeled(name: str, scale: str = "small") -> CSRGraph:
     """Labeled variant (FSM), with :data:`FSM_NUM_LABELS` uniform labels."""
-    key = (name, scale, True)
-    if key not in _CACHE:
-        _CACHE[key] = random_labels(
-            load(name, scale), FSM_NUM_LABELS, seed=7
-        )
-    return _CACHE[key]
+    from repro.runtime.cache import default_cache
+
+    return default_cache().get_or_create(
+        "graph",
+        _graph_key(name, scale, True),
+        lambda: random_labels(load(name, scale), FSM_NUM_LABELS, seed=7),
+    )
 
 
 def fsm_threshold(name: str, scale: str = "small") -> int:
@@ -180,17 +200,23 @@ def fsm_threshold(name: str, scale: str = "small") -> int:
     proxy's size-2 pattern supports: roughly half the edge patterns are
     pruned before extension, as a mid-selectivity FSM run does.
     """
-    import numpy as np
+    from repro.runtime.cache import default_cache
 
-    from repro.mining.apps.fsm import FrequentSubgraphMining
+    def probe_threshold() -> int:
+        import numpy as np
 
-    graph = load_labeled(name, scale)
-    probe = FrequentSubgraphMining(threshold=1, max_vertices=3)
-    probe.prepare(graph)
-    supports = sorted(probe._edge_pattern_support.values())
-    if not supports:
-        return 2
-    return max(2, int(np.percentile(supports, 60)))
+        from repro.mining.apps.fsm import FrequentSubgraphMining
+
+        graph = load_labeled(name, scale)
+        probe = FrequentSubgraphMining(threshold=1, max_vertices=3)
+        probe.prepare(graph)
+        supports = sorted(probe._edge_pattern_support.values())
+        if not supports:
+            return 2
+        return max(2, int(np.percentile(supports, 60)))
+
+    key = dict(_graph_key(name, scale, True), artifact="fsm_threshold")
+    return default_cache().get_or_create("fsm_threshold", key, probe_threshold)
 
 
 def scaled_cpu_config(scale: str = "small") -> CPUConfig:

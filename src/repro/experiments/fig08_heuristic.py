@@ -70,7 +70,7 @@ def main(scale: str = "small") -> str:
         ],
     )
     return (
-        f"Fig. 8 (a) ON_k accuracy vs observed top-5% "
+        "Fig. 8 (a) ON_k accuracy vs observed top-5% "
         f"(MC on {data['graph']})\n{acc_table}\n\n"
         f"Fig. 8 (b) ON-computation overhead / mining time\n{cost_table}"
     )

@@ -11,7 +11,6 @@ only 0.91×–1.07× variation.
 from __future__ import annotations
 
 from repro.accel.sim import GramerSimulator
-from repro.memory.hierarchy import default_tau
 
 from . import datasets
 from .harness import build_app, experiment_config, format_table
@@ -98,10 +97,10 @@ def main(scale: str = "small") -> str:
     )
     lam_rows = run_lambda_sweep(scale)
     lam_table = format_table(
-        ["Graph"] + [f"lambda={l}" for l in LAMBDAS],
+        ["Graph"] + [f"lambda={lam}" for lam in LAMBDAS],
         [
             [r["graph"]]
-            + [f"{r['normalized'][l]:.2f}" for l in LAMBDAS]
+            + [f"{r['normalized'][lam]:.2f}" for lam in LAMBDAS]
             for r in lam_rows
         ],
     )

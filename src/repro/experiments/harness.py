@@ -3,25 +3,35 @@
 Every ``figNN_*``/``tableN_*`` module produces plain-dict rows through the
 helpers here: one function runs a (system, app, graph) cell, one formats
 aligned text tables, one serialises results to JSON for EXPERIMENTS.md.
+
+Since the runtime refactor, cells execute through the backend registry of
+:mod:`repro.runtime`: each ``run_*_cell`` helper is a thin builder that
+assembles a :class:`~repro.runtime.spec.JobSpec`, routes it through
+:func:`~repro.runtime.executor.run_spec` (artifact cache included), and
+converts the :class:`~repro.runtime.spec.JobResult` back into the legacy
+:class:`CellResult` shape the figure/table modules consume.  The cell
+semantics (fixed overheads, energy accounting) live in
+:mod:`repro.runtime.backends` and are re-exported here unchanged.
 """
 
 from __future__ import annotations
 
 import json
-import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Sequence
 
 from repro.accel.config import GramerConfig
-from repro.accel.energy import EnergyParams, cpu_energy, gramer_energy
-from repro.accel.sim import GramerSimulator, SimResult
+from repro.accel.energy import EnergyParams
 from repro.baselines.cpu import CPUConfig
-from repro.baselines.fractal import BaselineResult, FractalModel
-from repro.baselines.rstream import RStreamModel
-from repro.graph.csr import CSRGraph
-from repro.mining.apps import make_app
-from repro.mining.apps.base import Application
+from repro.runtime.backends import (  # noqa: F401  (re-exported legacy API)
+    SCALE_OVERHEADS,
+    SystemOverheads,
+    build_app,
+    experiment_config,
+)
+from repro.runtime.executor import run_spec
+from repro.runtime.spec import JobResult, JobSpec, make_jobspec
 
 from . import datasets
 
@@ -29,6 +39,9 @@ __all__ = [
     "CellResult",
     "experiment_config",
     "build_app",
+    "cell_jobspec",
+    "cell_from_result",
+    "run_cell",
     "run_gramer_cell",
     "run_fractal_cell",
     "run_rstream_cell",
@@ -51,51 +64,52 @@ class CellResult:
     detail: dict
 
 
-@dataclass(frozen=True)
-class SystemOverheads:
-    """Fixed per-run costs, scaled with the proxy preset.
-
-    The paper's Table III timing includes each system's fixed costs:
-    GRAMER's "FPGA setup time and data transfer overheads between CPU and
-    FPGA", Fractal's multi-thread task management (Spark setup excluded),
-    and RStream's stream/table initialisation.  The absolute values below
-    are scaled to the proxies so the *ratios* between fixed costs and
-    mining work match the paper's regime (e.g. Citeseer: GRAMER 9.9 ms vs
-    Fractal 150 ms vs RStream 11 ms — overhead-dominated on all three).
-    """
-
-    gramer_setup_s: float
-    fractal_task_s: float
-    rstream_startup_s: float
-    pcie_bandwidth_bytes_per_s: float = 12e9  # PCIe gen3 x16 effective
+def _config_overrides(config, defaults) -> dict:
+    """Reduce a config dataclass to the fields that differ from defaults."""
+    if config is None:
+        return {}
+    base = asdict(defaults)
+    return {k: v for k, v in asdict(config).items() if base[k] != v}
 
 
-SCALE_OVERHEADS: dict[str, SystemOverheads] = {
-    "tiny": SystemOverheads(1.0e-4, 1.5e-3, 1.2e-4),
-    "small": SystemOverheads(3.0e-4, 4.5e-3, 3.5e-4),
-    "full": SystemOverheads(1.0e-3, 1.5e-2, 1.1e-3),
-}
+def cell_jobspec(
+    backend: str,
+    app_name: str,
+    graph_name: str,
+    scale: str = "small",
+    config: dict | None = None,
+    params: dict | None = None,
+) -> JobSpec:
+    """Build the JobSpec for one Table III-style cell."""
+    return make_jobspec(
+        backend,
+        app_name,
+        dataset=graph_name,
+        scale=scale,
+        config=config,
+        params=params,
+    )
 
 
-def experiment_config(**overrides) -> GramerConfig:
-    """The default accelerator configuration for all experiments."""
-    base = dict(onchip_entries=datasets.EXPERIMENT_ONCHIP_ENTRIES)
-    base.update(overrides)
-    return GramerConfig(**base)
+def cell_from_result(result: JobResult) -> CellResult:
+    """Convert a runtime JobResult into the legacy CellResult shape."""
+    return CellResult(
+        system=result.system,
+        app=result.spec.app,
+        graph=result.spec.graph_name,
+        seconds=result.seconds,
+        energy_j=result.energy_j,
+        wall_seconds=result.wall_seconds,
+        detail=result.detail,
+    )
 
 
-def build_app(app_name: str, graph_name: str, scale: str) -> Application:
-    """Instantiate a Table III application variant for one dataset."""
-    if app_name.upper().startswith("FSM"):
-        threshold = datasets.fsm_threshold(graph_name, scale)
-        return make_app(f"FSM-{threshold}")
-    return make_app(app_name)
-
-
-def _graph_for(app: Application, graph_name: str, scale: str) -> CSRGraph:
-    if app.needs_labels:
-        return datasets.load_labeled(graph_name, scale)
-    return datasets.load(graph_name, scale)
+def run_cell(spec: JobSpec, use_cache: bool = True) -> CellResult:
+    """Execute one cell spec through the backend registry."""
+    result = run_spec(spec, use_cache=use_cache)
+    if not result.ok:
+        raise RuntimeError(f"cell {spec.label()} failed: {result.error}")
+    return cell_from_result(result)
 
 
 def run_gramer_cell(
@@ -106,66 +120,22 @@ def run_gramer_cell(
     energy_params: EnergyParams | None = None,
 ) -> CellResult:
     """Simulate GRAMER for one Table III cell."""
-    app = build_app(app_name, graph_name, scale)
-    graph = _graph_for(app, graph_name, scale)
-    cfg = config if config is not None else experiment_config()
-    overheads = SCALE_OVERHEADS[scale]
-    start = time.perf_counter()
-    result: SimResult = GramerSimulator(graph, cfg).run(app)
-    wall = time.perf_counter() - start
-    energy = gramer_energy(result.stats, cfg, energy_params)
-    # Table III's GRAMER time "includes the FPGA setup time and data
-    # transfer overheads between CPU and FPGA" (§VI-B).
-    graph_bytes = (graph.num_vertices + 1 + len(graph.neighbors)) * 8
-    fixed = overheads.gramer_setup_s + (
-        graph_bytes / overheads.pcie_bandwidth_bytes_per_s
+    params = {
+        f"energy_{k}": v
+        for k, v in _config_overrides(energy_params, EnergyParams()).items()
+    }
+    # energy_params with all-default fields must still reach the backend.
+    if energy_params is not None and not params:
+        params = {"energy_static_w": EnergyParams().static_w}
+    spec = cell_jobspec(
+        "gramer",
+        app_name,
+        graph_name,
+        scale,
+        config=_config_overrides(config, experiment_config()),
+        params=params,
     )
-    # The FPGA burns its static power through the setup/transfer period
-    # too, and the paper's energy comparison spans the same total runtime
-    # its Table III reports — charge it on the same basis.
-    static_w = (energy_params or EnergyParams()).static_w
-    total_energy_j = energy.total_j + static_w * fixed
-    return CellResult(
-        system="GRAMER",
-        app=app_name,
-        graph=graph_name,
-        seconds=result.seconds + fixed,
-        energy_j=total_energy_j,
-        wall_seconds=wall,
-        detail={
-            "cycles": result.cycles,
-            "execution_seconds": result.seconds,
-            "fixed_overhead_seconds": fixed,
-            "vertex_hit_ratio": result.stats.vertex_hit_ratio,
-            "edge_hit_ratio": result.stats.edge_hit_ratio,
-            "steals": result.stats.steals,
-            "embeddings": result.mining.embeddings_by_size,
-            "summary": result.mining.summary,
-        },
-    )
-
-
-def _run_baseline(model, app_name, graph_name, scale) -> CellResult:
-    app = build_app(app_name, graph_name, scale)
-    graph = _graph_for(app, graph_name, scale)
-    start = time.perf_counter()
-    result: BaselineResult = model.run(graph, app)
-    wall = time.perf_counter() - start
-    seconds = result.seconds if result.available else None
-    return CellResult(
-        system=model.name,
-        app=app_name,
-        graph=graph_name,
-        seconds=seconds,
-        energy_j=cpu_energy(seconds) if seconds is not None else None,
-        wall_seconds=wall,
-        detail={
-            "failed": result.failed,
-            "stalls": result.breakdown.stall_fractions(),
-            "embeddings": result.mining.embeddings_by_size,
-            "summary": result.mining.summary,
-        },
-    )
+    return run_cell(spec)
 
 
 def run_fractal_cell(
@@ -175,11 +145,14 @@ def run_fractal_cell(
     cpu_config: CPUConfig | None = None,
 ) -> CellResult:
     """Run the Fractal-model baseline for one cell."""
-    cfg = cpu_config if cpu_config is not None else datasets.scaled_cpu_config(scale)
-    model = FractalModel(
-        cfg, task_overhead_s=SCALE_OVERHEADS[scale].fractal_task_s
+    spec = cell_jobspec(
+        "fractal",
+        app_name,
+        graph_name,
+        scale,
+        config=_config_overrides(cpu_config, datasets.scaled_cpu_config(scale)),
     )
-    return _run_baseline(model, app_name, graph_name, scale)
+    return run_cell(spec)
 
 
 def run_rstream_cell(
@@ -190,13 +163,15 @@ def run_rstream_cell(
     max_frontier: int = 2_000_000,
 ) -> CellResult:
     """Run the RStream-model baseline for one cell."""
-    cfg = cpu_config if cpu_config is not None else datasets.scaled_cpu_config(scale)
-    model = RStreamModel(
-        cfg,
-        startup_overhead_s=SCALE_OVERHEADS[scale].rstream_startup_s,
-        max_frontier=max_frontier,
+    spec = cell_jobspec(
+        "rstream",
+        app_name,
+        graph_name,
+        scale,
+        config=_config_overrides(cpu_config, datasets.scaled_cpu_config(scale)),
+        params={"max_frontier": max_frontier} if max_frontier != 2_000_000 else None,
     )
-    return _run_baseline(model, app_name, graph_name, scale)
+    return run_cell(spec)
 
 
 def format_seconds(seconds: float | None) -> str:
@@ -209,7 +184,12 @@ def format_seconds(seconds: float | None) -> str:
         return f"{seconds * 1e6:.1f}us"
     if seconds < 1:
         return f"{seconds * 1e3:.2f}ms"
-    return f"{seconds:.2f}s"
+    if seconds < 60:
+        return f"{seconds:.2f}s"
+    # Full-scale baseline cells exceed a minute (e.g. LiveJournal ~433 s);
+    # render them Table III style as whole minutes + seconds.
+    minutes, rest = divmod(seconds, 60.0)
+    return f"{int(minutes)}m {rest:.0f}s"
 
 
 def format_table(

@@ -95,7 +95,7 @@ def _locality_summary(fig05_rows: list[dict]) -> list[str]:
         lines.append(
             f"- {row['graph']}: top-5% vertex share "
             f"{shares[first] if first in shares else shares[str(first)]:.1%}"
-            f" → "
+            " → "
             f"{shares[last] if last in shares else shares[str(last)]:.1%}"
             f" across iterations {first}–{last}"
         )

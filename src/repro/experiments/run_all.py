@@ -2,10 +2,19 @@
 
 Usage::
 
-    python -m repro.experiments.run_all --scale small --out results/
+    python -m repro.experiments.run_all --scale small --out results/ --jobs 4
 
 Produces one text report per table/figure plus a combined ``results.json``
 used to fill EXPERIMENTS.md.
+
+Execution goes through :mod:`repro.runtime`: the Table III cell grid is
+submitted as job specs to one :class:`~repro.runtime.Executor` (fanned out
+over a process pool with ``--jobs N`` / ``GRAMER_JOBS``), the remaining
+independent figure/table modules fan out over the same worker budget, and
+every completed cell is memoized in the content-addressed artifact cache —
+re-running only recomputes changed cells (``--no-cache`` forces fresh
+results).  Output order and report contents are deterministic regardless
+of worker count.
 """
 
 from __future__ import annotations
@@ -13,7 +22,10 @@ from __future__ import annotations
 import argparse
 import json
 import time
+from concurrent import futures as _futures
 from pathlib import Path
+
+from repro.runtime.executor import Executor, resolve_jobs
 
 from . import (
     ablations,
@@ -40,6 +52,83 @@ EXPERIMENTS = [
 ]
 
 
+def _compute_experiment(name: str, scale: str) -> tuple[str, object]:
+    """One self-contained figure/table module -> (report text, data).
+
+    Top-level so it can cross a process-pool boundary; ``table3`` and
+    ``fig11`` are orchestrated by :func:`main` instead (they share cells).
+    """
+    if name == "fig02":
+        return fig02_patterns.main(scale), fig02_patterns.run(scale)
+    if name == "fig03":
+        return fig03_stalls.main(scale), fig03_stalls.run(scale)
+    if name == "fig05":
+        return fig05_locality.main(scale), fig05_locality.run(scale)
+    if name == "fig08":
+        return fig08_heuristic.main(scale), fig08_heuristic.run(scale=scale)
+    if name == "table2":
+        return table2_resources.main(), table2_resources.run()
+    if name == "fig12":
+        return fig12_lamh.main(scale), fig12_lamh.run(scale)
+    if name == "table4":
+        return table4_clock.main(), table4_clock.run()
+    if name == "fig13":
+        return fig13_pipeline.main(scale), {
+            "slot_sweep": fig13_pipeline.run_slot_sweep(scale),
+            "work_stealing": fig13_pipeline.run_work_stealing(scale),
+        }
+    if name == "fig14":
+        return fig14_sensitivity.main(scale), {
+            "tau": fig14_sensitivity.run_tau_sweep(scale),
+            "lambda": fig14_sensitivity.run_lambda_sweep(scale),
+        }
+    if name == "dfs_vs_bfs":
+        return dfs_vs_bfs.main(scale), dfs_vs_bfs.run(scale)
+    if name == "ablations":
+        return ablations.main(scale), {
+            "steal_selector": ablations.run_steal_selector(scale),
+            "rank_source": ablations.run_rank_source(scale),
+            "arbitrator": ablations.run_arbitrator_policy(scale),
+            "partitions": ablations.run_partition_sweep(scale),
+        }
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def _compute_modules(
+    names: list[str], scale: str, jobs: int
+) -> dict[str, tuple[str, object]]:
+    """Run independent experiment modules, optionally across a pool.
+
+    A module that raises is captured as a failure report instead of
+    aborting the run — the same isolation contract as cell jobs.
+    """
+    outputs: dict[str, tuple[str, object]] = {}
+    if jobs <= 1 or len(names) <= 1:
+        for name in names:
+            try:
+                outputs[name] = _compute_experiment(name, scale)
+            except Exception as exc:  # noqa: BLE001 - isolate failures
+                outputs[name] = (
+                    f"{name} FAILED: {type(exc).__name__}: {exc}",
+                    {"error": f"{type(exc).__name__}: {exc}"},
+                )
+        return outputs
+    with _futures.ProcessPoolExecutor(max_workers=min(jobs, len(names))) as pool:
+        submitted = [
+            (name, pool.submit(_compute_experiment, name, scale))
+            for name in names
+        ]
+        for name, future in submitted:
+            try:
+                outputs[name] = future.result()
+            except Exception as exc:  # noqa: BLE001
+                outputs[name] = (
+                    f"{name} FAILED: {type(exc).__name__}: {exc}",
+                    {"error": f"{type(exc).__name__}: {exc}"},
+                )
+    return outputs
+
+
 def main(argv: list[str] | None = None) -> None:
     """CLI entry point."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -50,8 +139,19 @@ def main(argv: list[str] | None = None) -> None:
         "--only", nargs="*", default=None,
         help=f"subset of experiments to run (choices: {EXPERIMENTS})",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="process-pool width for cell/module fan-out "
+             "(default: $GRAMER_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell instead of reusing cached job results",
+    )
     args = parser.parse_args(argv)
     selected = args.only if args.only else EXPERIMENTS
+    jobs = resolve_jobs(args.jobs)
+    executor = Executor(jobs=jobs, use_cache=not args.no_cache)
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
 
@@ -64,31 +164,18 @@ def main(argv: list[str] | None = None) -> None:
         except json.JSONDecodeError:
             payload = {}
     payload["scale"] = args.scale
-    reports: list[str] = []
-
-    def record(name: str, text: str, data: object) -> None:
-        print(f"\n{'=' * 72}\n{text}", flush=True)
-        reports.append(text)
-        payload[name] = data
-        (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    reports: dict[str, tuple[str, object]] = {}
 
     start = time.perf_counter()
-    if "fig02" in selected:
-        record("fig02", fig02_patterns.main(args.scale), fig02_patterns.run(args.scale))
-    if "fig03" in selected:
-        record("fig03", fig03_stalls.main(args.scale), fig03_stalls.run(args.scale))
-    if "fig05" in selected:
-        record("fig05", fig05_locality.main(args.scale), fig05_locality.run(args.scale))
-    if "fig08" in selected:
-        record("fig08", fig08_heuristic.main(args.scale), fig08_heuristic.run(scale=args.scale))
-    if "table2" in selected:
-        record("table2", table2_resources.main(), table2_resources.run())
+
+    # Phase 1 — the shared-cell experiments: the Table III grid goes through
+    # the job executor once; fig11 reuses those cells.
     table3_cells = None
     if "table3" in selected:
-        table3_cells = table3_runtime.run(args.scale, verbose=True)
+        table3_cells = table3_runtime.run(
+            args.scale, verbose=True, executor=executor
+        )
         rows = table3_runtime.speedup_rows(table3_cells)
-        text = table3_runtime.main.__doc__  # placeholder, rebuilt below
-        # Rebuild the report from the cells we already have.
         from .harness import format_seconds, format_table
 
         text = "Table III — running time, GRAMER vs Fractal vs RStream\n"
@@ -109,53 +196,35 @@ def main(argv: list[str] | None = None) -> None:
                 for r in rows
             ],
         )
-        record("table3", text, rows)
+        reports["table3"] = (text, rows)
+
+    # Phase 2 — independent figure/table modules fan out over the same
+    # worker budget; each repeated cell inside them hits the artifact cache.
+    independent = [
+        name for name in selected if name not in ("table3", "fig11")
+    ]
+    reports.update(_compute_modules(independent, args.scale, jobs))
+
+    # Phase 3 — fig11 (energy + total time), reusing table3's cells when
+    # available, the artifact cache otherwise.
     if "fig11" in selected:
         energy = fig11_energy.run_energy(args.scale, cells=table3_cells)
         total = fig11_energy.run_total_time(args.scale)
-        record(
-            "fig11",
+        reports["fig11"] = (
             fig11_energy.main(args.scale)
             if table3_cells is None
             else _fig11_text(energy, total),
             {"energy": energy, "total_time": total},
         )
-    if "fig12" in selected:
-        record("fig12", fig12_lamh.main(args.scale), fig12_lamh.run(args.scale))
-    if "table4" in selected:
-        record("table4", table4_clock.main(), table4_clock.run())
-    if "fig13" in selected:
-        record(
-            "fig13",
-            fig13_pipeline.main(args.scale),
-            {
-                "slot_sweep": fig13_pipeline.run_slot_sweep(args.scale),
-                "work_stealing": fig13_pipeline.run_work_stealing(args.scale),
-            },
-        )
-    if "fig14" in selected:
-        record(
-            "fig14",
-            fig14_sensitivity.main(args.scale),
-            {
-                "tau": fig14_sensitivity.run_tau_sweep(args.scale),
-                "lambda": fig14_sensitivity.run_lambda_sweep(args.scale),
-            },
-        )
 
-    if "dfs_vs_bfs" in selected:
-        record("dfs_vs_bfs", dfs_vs_bfs.main(args.scale), dfs_vs_bfs.run(args.scale))
-    if "ablations" in selected:
-        record(
-            "ablations",
-            ablations.main(args.scale),
-            {
-                "steal_selector": ablations.run_steal_selector(args.scale),
-                "rank_source": ablations.run_rank_source(args.scale),
-                "arbitrator": ablations.run_arbitrator_policy(args.scale),
-                "partitions": ablations.run_partition_sweep(args.scale),
-            },
-        )
+    # Emit in canonical order so reports read identically at any --jobs.
+    for name in EXPERIMENTS:
+        if name not in reports:
+            continue
+        text, data = reports[name]
+        print(f"\n{'=' * 72}\n{text}", flush=True)
+        payload[name] = data
+        (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
 
     payload["wall_seconds"] = time.perf_counter() - start
     with open(out_dir / "results.json", "w", encoding="utf-8") as handle:

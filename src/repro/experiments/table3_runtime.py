@@ -9,18 +9,32 @@ next to the paper's speedup for the same cell.
 
 from __future__ import annotations
 
-from .harness import (
-    CellResult,
-    format_seconds,
-    format_table,
-    run_fractal_cell,
-    run_gramer_cell,
-    run_rstream_cell,
-)
+from repro.runtime.executor import Executor
+from repro.runtime.spec import JobResult, JobSpec
+
+from .harness import CellResult, cell_from_result, cell_jobspec, format_seconds, format_table
 from .datasets import DATASET_ORDER
 from .paper_data import TABLE3_APPS, paper_speedup
 
-__all__ = ["run", "main", "speedup_rows"]
+__all__ = ["run", "main", "speedup_rows", "cell_specs"]
+
+_SYSTEMS = ("gramer", "fractal", "rstream")
+
+
+def cell_specs(
+    scale: str = "small",
+    apps: list[str] | None = None,
+    graphs: list[str] | None = None,
+) -> list[JobSpec]:
+    """The Table III grid as job specs (app-major, then graph, then system)."""
+    apps = apps if apps is not None else list(TABLE3_APPS)
+    graphs = graphs if graphs is not None else list(DATASET_ORDER)
+    return [
+        cell_jobspec(backend, app, graph, scale)
+        for app in apps
+        for graph in graphs
+        for backend in _SYSTEMS
+    ]
 
 
 def run(
@@ -28,24 +42,36 @@ def run(
     apps: list[str] | None = None,
     graphs: list[str] | None = None,
     verbose: bool = False,
+    executor: Executor | None = None,
 ) -> list[CellResult]:
-    """Run every requested cell for all three systems."""
-    apps = apps if apps is not None else list(TABLE3_APPS)
-    graphs = graphs if graphs is not None else list(DATASET_ORDER)
-    cells: list[CellResult] = []
-    for app in apps:
-        for graph in graphs:
-            for runner in (run_gramer_cell, run_fractal_cell, run_rstream_cell):
-                cell = runner(app, graph, scale)
-                cells.append(cell)
-                if verbose:
-                    print(
-                        f"  {cell.system:8s} {app:5s} {graph:9s} "
-                        f"{format_seconds(cell.seconds):>10s} "
-                        f"(host {cell.wall_seconds:.1f}s)",
-                        flush=True,
-                    )
-    return cells
+    """Run every requested cell for all three systems.
+
+    All cells are submitted through one :class:`~repro.runtime.Executor`
+    (serial inline by default; pass ``executor=Executor(jobs=N)`` or set
+    ``GRAMER_JOBS`` to fan out over a process pool).  Results come back in
+    grid order regardless of worker count.
+    """
+    executor = executor if executor is not None else Executor()
+    specs = cell_specs(scale, apps, graphs)
+
+    def progress(result: JobResult, index: int, total: int) -> None:
+        if not verbose:
+            return
+        spec = result.spec
+        shown = format_seconds(result.seconds) if result.ok else "FAILED"
+        suffix = " [cached]" if result.cached else ""
+        print(
+            f"  {result.system:8s} {spec.app:5s} {spec.graph_name:9s} "
+            f"{shown:>10s} (host {result.wall_seconds:.1f}s)"
+            f"{suffix}",
+            flush=True,
+        )
+
+    results = executor.run(specs, progress=progress)
+    failures = [r for r in results if not r.ok]
+    for failure in failures:
+        print(f"  FAILED {failure.spec.label()}: {failure.error}", flush=True)
+    return [cell_from_result(r) for r in results if r.ok]
 
 
 def _by_cell(cells: list[CellResult]) -> dict[tuple[str, str], dict[str, CellResult]]:
@@ -96,9 +122,10 @@ def main(
     apps: list[str] | None = None,
     graphs: list[str] | None = None,
     verbose: bool = True,
+    executor: Executor | None = None,
 ) -> str:
     """Render Table III with paper-speedup columns."""
-    cells = run(scale, apps, graphs, verbose=verbose)
+    cells = run(scale, apps, graphs, verbose=verbose, executor=executor)
     rows = speedup_rows(cells)
     table = format_table(
         [

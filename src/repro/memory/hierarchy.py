@@ -246,7 +246,6 @@ def build_hierarchy(
             raise ValueError("vertex_rank must have one entry per vertex")
 
     num_slots = len(graph.neighbors)
-    data_entries = graph.num_vertices + num_slots
     if low_policy == "uniform":
         # Fig. 12's baseline: one undifferentiated LRU cache shared by
         # vertex and edge data (no pinning, no vertex/edge isolation).

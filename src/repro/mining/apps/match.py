@@ -70,7 +70,7 @@ class SubgraphMatching(Application):
         if not pattern.is_connected:
             raise ValueError("target pattern must be connected")
         self.pattern = pattern
-        self.needs_labels = any(l != 0 for l in pattern.labels)
+        self.needs_labels = any(lab != 0 for lab in pattern.labels)
         super().__init__(max_vertices=pattern.size)
 
     def filter(self, graph, vertices, columns) -> bool:

@@ -30,7 +30,7 @@ locality GRAMER exploits.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Protocol, Sequence
+from typing import TYPE_CHECKING, Iterable, Protocol
 
 from .canonical import id_checks_pass
 

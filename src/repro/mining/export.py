@@ -41,7 +41,7 @@ def _code_from_dict(payload: dict) -> PatternCode:
     return PatternCode(
         size=int(payload["size"]),
         adjacency=int(payload["adjacency"]),
-        labels=tuple(int(l) for l in payload["labels"]),
+        labels=tuple(int(lab) for lab in payload["labels"]),
     )
 
 
@@ -112,7 +112,7 @@ def result_to_csv(result: MiningResult) -> str:
     writer.writeheader()
     for record in result_to_records(result):
         row = dict(record)
-        row["labels"] = "|".join(str(l) for l in record["labels"])
+        row["labels"] = "|".join(str(lab) for lab in record["labels"])
         writer.writerow(row)
     return buffer.getvalue()
 

@@ -81,7 +81,7 @@ class PatternCode:
     def __str__(self) -> str:
         name = pattern_name(self)
         label_part = (
-            "" if all(l == 0 for l in self.labels) else f" labels={self.labels}"
+            "" if all(lab == 0 for lab in self.labels) else f" labels={self.labels}"
         )
         return f"<{name}{label_part}>"
 

@@ -1,0 +1,49 @@
+"""Unified execution runtime: backends, job executor, artifact cache.
+
+Every way of running a mining workload — the CLI, the experiment harness,
+``run_all`` sweeps — goes through this layer:
+
+* :class:`~repro.runtime.spec.JobSpec` / :class:`~repro.runtime.spec.JobResult`
+  — the declarative unit of work and its complete outcome;
+* :mod:`~repro.runtime.backends` — the ``Backend`` registry wrapping the
+  software engine, the GRAMER cycle simulator, and the Fractal/RStream
+  baseline models behind one ``run(JobSpec) -> JobResult`` interface;
+* :class:`~repro.runtime.executor.Executor` — inline or process-pool
+  fan-out with per-job failure capture and deterministic ordering;
+* :mod:`~repro.runtime.cache` — the content-addressed artifact cache
+  memoizing proxy graphs, ON1 rankings, and completed job results.
+"""
+
+from .backends import (
+    Backend,
+    backend_names,
+    build_app,
+    cached_vertex_rank,
+    experiment_config,
+    get_backend,
+    register_backend,
+)
+from .cache import ArtifactCache, default_cache, reset_default_cache, stable_hash
+from .executor import Executor, resolve_jobs, run_spec
+from .spec import JobResult, JobSpec, failed_result, make_jobspec
+
+__all__ = [
+    "ArtifactCache",
+    "Backend",
+    "Executor",
+    "JobResult",
+    "JobSpec",
+    "backend_names",
+    "build_app",
+    "cached_vertex_rank",
+    "default_cache",
+    "experiment_config",
+    "failed_result",
+    "get_backend",
+    "make_jobspec",
+    "register_backend",
+    "reset_default_cache",
+    "resolve_jobs",
+    "run_spec",
+    "stable_hash",
+]

@@ -1,0 +1,214 @@
+"""Content-addressed artifact cache for the execution runtime.
+
+Sweeps across (backend, app, graph) cells recompute the same expensive
+artifacts over and over: generated proxy graphs, ON1 occurrence-rank
+permutations, and whole :class:`~repro.runtime.spec.JobResult`\\ s.  This
+module memoizes all three behind one interface:
+
+* every artifact is addressed by a **stable content hash** of the fields
+  that determine it (:func:`stable_hash` — canonical JSON, SHA-256), never
+  by object identity or insertion order;
+* values live in an **in-process LRU** first and a **disk store** second
+  (``~/.cache/gramer-repro/<kind>/<hash>.pkl`` by default, overridable via
+  the ``GRAMER_CACHE_DIR`` environment variable), so repeated calls inside
+  one process are free and repeated runs across processes — including
+  :class:`~repro.runtime.executor.Executor` pool workers — skip
+  regeneration entirely;
+* disk failures (read-only filesystem, corrupt entry, version skew) are
+  never fatal: the cache silently degrades to recomputing.
+
+Values are serialized with :mod:`pickle`; the disk store is a private
+memo, not an interchange format.  Keys must be built from JSON-canonical
+scalars/containers so the hash is stable across processes and sessions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = [
+    "CACHE_VERSION",
+    "ArtifactCache",
+    "CacheStats",
+    "default_cache",
+    "default_cache_root",
+    "reset_default_cache",
+    "stable_hash",
+]
+
+# Bump to invalidate every stored artifact when serialized layouts change.
+CACHE_VERSION = 1
+
+_ENV_CACHE_DIR = "GRAMER_CACHE_DIR"
+_DEFAULT_ROOT = Path("~/.cache/gramer-repro")
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a deterministic JSON-serializable form."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (set, frozenset)):
+        return sorted(str(item) for item in obj)
+    # numpy scalars and other number-likes.
+    if hasattr(obj, "item") and callable(obj.item):
+        return _canonical(obj.item())
+    raise TypeError(
+        f"cache keys must be JSON-canonical; got {type(obj).__name__}"
+    )
+
+
+def stable_hash(obj: Any) -> str:
+    """SHA-256 of the canonical JSON encoding of ``obj``."""
+    payload = json.dumps(
+        _canonical(obj), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def default_cache_root() -> Path:
+    """Resolve the disk root: ``$GRAMER_CACHE_DIR`` or ``~/.cache/gramer-repro``."""
+    env = os.environ.get(_ENV_CACHE_DIR)
+    if env:
+        return Path(env).expanduser()
+    return _DEFAULT_ROOT.expanduser()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by tier (diagnostics and tests)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    disk_errors: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "disk_errors": self.disk_errors,
+        }
+
+
+_MISS = object()
+
+
+@dataclass
+class ArtifactCache:
+    """Two-tier (LRU memory + pickle disk) content-addressed store.
+
+    ``use_disk=False`` keeps the cache purely in-process (used by
+    ``--no-cache`` flows that still want per-run memoization).
+    """
+
+    root: Path = field(default_factory=default_cache_root)
+    memory_items: int = 128
+    use_disk: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self._memory: OrderedDict[tuple[str, str], Any] = OrderedDict()
+
+    # -- key/path plumbing --------------------------------------------------
+
+    def digest(self, key: Any) -> str:
+        """Content address of ``key`` (version-salted stable hash)."""
+        return stable_hash({"key": key, "version": CACHE_VERSION})
+
+    def _path(self, kind: str, digest: str) -> Path:
+        return self.root / kind / f"{digest}.pkl"
+
+    def _remember(self, slot: tuple[str, str], value: Any) -> None:
+        self._memory[slot] = value
+        self._memory.move_to_end(slot)
+        while len(self._memory) > self.memory_items:
+            self._memory.popitem(last=False)
+
+    # -- public API ---------------------------------------------------------
+
+    def lookup(self, kind: str, key: Any) -> tuple[bool, Any]:
+        """Return ``(hit, value)`` without computing anything."""
+        digest = self.digest(key)
+        slot = (kind, digest)
+        if slot in self._memory:
+            self._memory.move_to_end(slot)
+            self.stats.memory_hits += 1
+            return True, self._memory[slot]
+        if self.use_disk:
+            path = self._path(kind, digest)
+            try:
+                if path.exists():
+                    with open(path, "rb") as handle:
+                        value = pickle.load(handle)
+                    self.stats.disk_hits += 1
+                    self._remember(slot, value)
+                    return True, value
+            except (OSError, pickle.PickleError, EOFError, AttributeError):
+                self.stats.disk_errors += 1
+        self.stats.misses += 1
+        return False, None
+
+    def store(self, kind: str, key: Any, value: Any) -> None:
+        """Remember ``value`` in memory and (best-effort) on disk."""
+        digest = self.digest(key)
+        self._remember((kind, digest), value)
+        if not self.use_disk:
+            return
+        path = self._path(kind, digest)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic under concurrent pool workers
+        except OSError:
+            self.stats.disk_errors += 1
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def get_or_create(
+        self, kind: str, key: Any, producer: Callable[[], Any]
+    ) -> Any:
+        """Memoized ``producer()`` keyed by ``(kind, stable_hash(key))``."""
+        hit, value = self.lookup(kind, key)
+        if hit:
+            return value
+        value = producer()
+        self.store(kind, key, value)
+        return value
+
+    def clear_memory(self) -> None:
+        """Drop the in-process tier (disk entries survive)."""
+        self._memory.clear()
+
+
+_default: ArtifactCache | None = None
+
+
+def default_cache() -> ArtifactCache:
+    """The process-wide cache singleton (created lazily from the env)."""
+    global _default
+    if _default is None:
+        _default = ArtifactCache()
+    return _default
+
+
+def reset_default_cache() -> None:
+    """Forget the singleton (tests re-point ``GRAMER_CACHE_DIR``)."""
+    global _default
+    _default = None

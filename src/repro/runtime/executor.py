@@ -1,0 +1,200 @@
+"""The job executor: inline or process-pool fan-out over ``JobSpec`` lists.
+
+One call — :meth:`Executor.run` — takes an ordered list of
+:class:`~repro.runtime.spec.JobSpec` and returns the matching ordered list
+of :class:`~repro.runtime.spec.JobResult`:
+
+* ``jobs=1`` (the default; overridable per-process via the ``GRAMER_JOBS``
+  environment variable) executes inline, exactly like the old serial loops;
+* ``jobs=N`` fans uncached specs out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` while results are
+  collected **in submission order**, so output is deterministic regardless
+  of worker count or completion order;
+* a job that raises is captured as a failed ``JobResult`` (``ok=False``,
+  ``error`` set) instead of aborting the sweep — one poisoned cell never
+  kills its siblings;
+* ``timeout_s`` caps how long the collector waits on any single job in
+  pool mode (the stuck cell becomes a failed result; inline execution is
+  single-threaded and cannot be preempted, so the cap applies only when
+  fanned out);
+* completed ``JobResult``\\ s are memoized in the artifact cache (keyed by
+  the spec's content hash), so re-running a sweep only recomputes changed
+  cells.  Failed results are never cached — transient errors should not
+  poison future runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent import futures as _futures
+from typing import Callable, Sequence
+
+from .backends import get_backend
+from .cache import ArtifactCache, default_cache
+from .spec import JobResult, JobSpec, failed_result
+
+__all__ = ["Executor", "run_spec", "resolve_jobs"]
+
+_ENV_JOBS = "GRAMER_JOBS"
+_JOB_KIND = "job"
+
+ProgressFn = Callable[[JobResult, int, int], None]
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit argument, else ``$GRAMER_JOBS``, else 1."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get(_ENV_JOBS, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+def run_spec(
+    spec: JobSpec,
+    use_cache: bool = True,
+    cache: ArtifactCache | None = None,
+) -> JobResult:
+    """Execute one spec: cache lookup → backend run → cache store.
+
+    Never raises for job-level errors; they come back as a failed
+    :class:`JobResult`.
+    """
+    cache = cache if cache is not None else default_cache()
+    key = spec.cache_key()
+    if use_cache:
+        hit, value = cache.lookup(_JOB_KIND, key)
+        if hit and isinstance(value, JobResult):
+            return value.as_cached()
+    start = time.perf_counter()
+    try:
+        backend = get_backend(spec.backend)
+        result = backend.run(spec)
+    except Exception as exc:  # noqa: BLE001 - failure isolation by design
+        return failed_result(spec, exc, wall_seconds=time.perf_counter() - start)
+    from dataclasses import replace
+
+    result = replace(result, cache_key=cache.digest(key))
+    if use_cache and result.ok:
+        cache.store(_JOB_KIND, key, result)
+    return result
+
+
+def _pool_worker(
+    spec: JobSpec, use_cache: bool, cache_root: str, cache_use_disk: bool
+) -> JobResult:
+    """Top-level (picklable) entry point for pool workers.
+
+    Reconstructs the parent's cache from its root so job results land in
+    the same store the parent (and future runs) will read.
+    """
+    cache = ArtifactCache(root=cache_root, use_disk=cache_use_disk)
+    return run_spec(spec, use_cache=use_cache, cache=cache)
+
+
+class Executor:
+    """Run lists of job specs inline or across a process pool."""
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        timeout_s: float | None = None,
+        use_cache: bool = True,
+        cache: ArtifactCache | None = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.timeout_s = timeout_s
+        self.use_cache = use_cache
+        self.cache = cache if cache is not None else default_cache()
+
+    def run(
+        self,
+        specs: Sequence[JobSpec],
+        progress: ProgressFn | None = None,
+    ) -> list[JobResult]:
+        """Execute every spec; result ``i`` always corresponds to spec ``i``."""
+        total = len(specs)
+        results: list[JobResult | None] = [None] * total
+
+        def note(result: JobResult, index: int) -> None:
+            results[index] = result
+            if progress is not None:
+                progress(result, index, total)
+
+        pending: list[int] = []
+        for index, spec in enumerate(specs):
+            if self.use_cache:
+                hit, value = self.cache.lookup(_JOB_KIND, spec.cache_key())
+                if hit and isinstance(value, JobResult):
+                    note(value.as_cached(), index)
+                    continue
+            pending.append(index)
+
+        if not pending:
+            return [r for r in results if r is not None]
+
+        solo_without_timeout = len(pending) == 1 and self.timeout_s is None
+        if self.jobs <= 1 or solo_without_timeout:
+            for index in pending:
+                note(
+                    run_spec(specs[index], self.use_cache, self.cache), index
+                )
+            return [r for r in results if r is not None]
+
+        workers = min(self.jobs, len(pending))
+        timed_out = False
+        pool = _futures.ProcessPoolExecutor(max_workers=workers)
+        try:
+            submitted = [
+                (
+                    index,
+                    pool.submit(
+                        _pool_worker,
+                        specs[index],
+                        self.use_cache,
+                        str(self.cache.root),
+                        self.cache.use_disk,
+                    ),
+                )
+                for index in pending
+            ]
+            for index, future in submitted:
+                spec = specs[index]
+                try:
+                    result = future.result(timeout=self.timeout_s)
+                except _futures.TimeoutError:
+                    # Queue wait counts: a job starved behind a stuck
+                    # sibling times out too, rather than blocking forever.
+                    future.cancel()
+                    timed_out = True
+                    note(
+                        failed_result(
+                            spec,
+                            f"TimeoutError: job exceeded {self.timeout_s}s",
+                        ),
+                        index,
+                    )
+                    continue
+                except Exception as exc:  # pool/pickling breakage
+                    note(failed_result(spec, exc), index)
+                    continue
+                # Mirror the worker's disk entry into this process's memory
+                # tier so later same-process lookups are free.
+                if self.use_cache and result.ok:
+                    self.cache.store(_JOB_KIND, spec.cache_key(), result)
+                note(result, index)
+        finally:
+            if timed_out:
+                # Don't wait on stuck workers; reap them so a hung cell
+                # cannot outlive the sweep.
+                pool.shutdown(wait=False, cancel_futures=True)
+                for proc in list((getattr(pool, "_processes", None) or {}).values()):
+                    proc.terminate()
+            else:
+                pool.shutdown(wait=True)
+        return [r for r in results if r is not None]

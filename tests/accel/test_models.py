@@ -14,7 +14,6 @@ from repro.accel.energy import (
     gramer_energy,
 )
 from repro.accel.resources import (
-    FPGA_XCU250,
     PAPER_ONCHIP_ENTRIES,
     estimate_resources,
 )

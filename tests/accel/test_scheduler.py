@@ -4,8 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph.generators import clique, powerlaw_cluster, star
-from repro.mining.apps import MotifCounting
+from repro.graph.generators import clique, star
 from repro.mining.engine import Frame, NullMemory, advance_frame, check_candidate
 from repro.accel.scheduler import (
     SlotContext,
@@ -105,7 +104,6 @@ class TestSplitFrame:
         assert split_frame(frame) is None
 
     def test_member_split_prefers_members(self):
-        g = clique(4)
         frame = Frame((0, 1), (0, 0b1))
         thief = split_frame(frame)
         assert thief is not None

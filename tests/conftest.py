@@ -2,11 +2,35 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 from hypothesis import strategies as st
 
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import erdos_renyi, powerlaw_cluster
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Point the runtime artifact cache at a per-session temp dir.
+
+    Keeps the suite hermetic (no writes under ``~/.cache``) and keeps runs
+    independent of whatever a previous session cached.  Executor pool
+    workers inherit the environment variable, so they share the same root.
+    """
+    from repro.runtime.cache import reset_default_cache
+
+    root = tmp_path_factory.mktemp("gramer-cache")
+    previous = os.environ.get("GRAMER_CACHE_DIR")
+    os.environ["GRAMER_CACHE_DIR"] = str(root)
+    reset_default_cache()
+    yield
+    if previous is None:
+        os.environ.pop("GRAMER_CACHE_DIR", None)
+    else:
+        os.environ["GRAMER_CACHE_DIR"] = previous
+    reset_default_cache()
 
 
 @st.composite

@@ -32,7 +32,7 @@ class TestRegistry:
         labeled = datasets.load_labeled("mico", "tiny")
         plain = datasets.load("mico", "tiny")
         assert sorted(labeled.edges()) == sorted(plain.edges())
-        assert set(int(l) for l in labeled.labels) <= set(
+        assert set(int(lab) for lab in labeled.labels) <= set(
             range(datasets.FSM_NUM_LABELS)
         )
 

@@ -26,6 +26,14 @@ class TestFormatting:
         assert format_seconds(0.25).endswith("ms")
         assert format_seconds(12.5) == "12.50s"
 
+    def test_format_seconds_minutes(self):
+        # Full-scale baseline cells exceed 60 s (e.g. LiveJournal ~433 s);
+        # they must render as minutes + seconds, not "433.20s".
+        assert format_seconds(433.2) == "7m 13s"
+        assert format_seconds(60.0) == "1m 0s"
+        assert format_seconds(59.99) == "59.99s"
+        assert format_seconds(3601) == "60m 1s"
+
     def test_format_table_alignment(self):
         text = format_table(["a", "bbb"], [["x", "y"], ["zz", "w"]])
         lines = text.splitlines()
@@ -79,6 +87,25 @@ class TestCells:
         cell = run_rstream_cell("3-CF", "citeseer", "tiny")
         assert cell.system == "RStream"
         assert cell.seconds is not None
+
+    def test_custom_config_routes_through_runtime(self):
+        from repro.experiments.harness import experiment_config
+
+        cell = run_gramer_cell(
+            "3-CF", "citeseer", "tiny", config=experiment_config(num_pus=2)
+        )
+        assert cell.system == "GRAMER"
+        assert cell.detail["cycles"] > 0
+
+    def test_no_direct_model_construction_left(self):
+        """The runtime refactor's contract: harness only builds JobSpecs."""
+        import inspect
+
+        from repro.experiments import harness
+
+        source = inspect.getsource(harness)
+        for forbidden in ("GramerSimulator(", "FractalModel(", "RStreamModel("):
+            assert forbidden not in source
 
     def test_systems_agree_on_counts(self):
         cells = [

@@ -154,7 +154,7 @@ class TestRMAT:
 class TestRandomLabels:
     def test_labels_in_range(self):
         g = random_labels(cycle(20), 4, seed=3)
-        assert set(int(l) for l in g.labels) <= set(range(4))
+        assert set(int(lab) for lab in g.labels) <= set(range(4))
 
     def test_topology_unchanged(self):
         base = powerlaw_cluster(100, 2, seed=4)

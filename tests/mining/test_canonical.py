@@ -5,7 +5,6 @@ from itertools import combinations, permutations
 import pytest
 from hypothesis import given, settings
 
-from repro.graph.csr import CSRGraph
 from repro.graph.generators import clique, cycle, path, star
 from repro.mining.canonical import (
     canonical_order,

@@ -6,8 +6,7 @@ import networkx as nx
 import pytest
 from hypothesis import given, settings
 
-from repro.graph.csr import CSRGraph
-from repro.graph.generators import clique, cycle, path, powerlaw_cluster, star
+from repro.graph.generators import clique, cycle, path, star
 from repro.locality.trace import AccessCounter, IterationTrace
 from repro.mining.apps import CliqueFinding, MotifCounting
 from repro.mining.engine import (

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 
 from repro.graph.csr import CSRGraph
-from repro.graph.generators import clique, cycle, powerlaw_cluster
+from repro.graph.generators import cycle, powerlaw_cluster
 from repro.mining.apps import CliqueFinding, MotifCounting, SubgraphMatching
 from repro.mining.apps.match import can_embed_induced
 from repro.mining.engine import run_bfs, run_dfs
@@ -31,7 +31,7 @@ def brute_force_matches(graph, pattern):
             if graph.has_edge(subset[i], subset[j])
         ]
         labels = tuple(graph.label(v) for v in subset)
-        use_labels = any(l != 0 for l in pattern.labels)
+        use_labels = any(lab != 0 for lab in pattern.labels)
         code = canonical_code(edges, k, labels if use_labels else None)
         if code == pattern and code.is_connected:
             count += 1

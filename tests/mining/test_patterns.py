@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 
 from repro.mining.patterns import (
     MAX_PATTERN_SIZE,
-    PatternCode,
     canonical_code,
     code_from_columns,
     pattern_name,

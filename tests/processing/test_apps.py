@@ -6,7 +6,7 @@ import networkx as nx
 import pytest
 from hypothesis import given, settings
 
-from repro.graph.generators import cycle, path, powerlaw_cluster, star
+from repro.graph.generators import cycle, path, star
 from repro.processing import (
     BreadthFirstSearch,
     ConnectedComponents,

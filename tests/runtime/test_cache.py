@@ -1,0 +1,135 @@
+"""The content-addressed artifact cache."""
+
+import pickle
+
+import pytest
+
+from repro.runtime.cache import ArtifactCache, stable_hash
+
+
+class TestStableHash:
+    def test_dict_order_invariant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_tuple_and_list_equivalent(self):
+        assert stable_hash((1, 2, "x")) == stable_hash([1, 2, "x"])
+
+    def test_distinct_values_distinct_hashes(self):
+        assert stable_hash({"scale": "tiny"}) != stable_hash({"scale": "small"})
+
+    def test_numpy_scalars_canonicalize(self):
+        np = pytest.importorskip("numpy")
+        assert stable_hash(np.int64(7)) == stable_hash(7)
+
+    def test_non_canonical_key_rejected(self):
+        with pytest.raises(TypeError, match="JSON-canonical"):
+            stable_hash(object())
+
+
+class TestArtifactCache:
+    def test_roundtrip_memory(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        cache.store("thing", {"k": 1}, [1, 2, 3])
+        hit, value = cache.lookup("thing", {"k": 1})
+        assert hit and value == [1, 2, 3]
+        assert cache.stats.memory_hits == 1
+
+    def test_miss(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        hit, value = cache.lookup("thing", {"k": 1})
+        assert not hit and value is None
+        assert cache.stats.misses == 1
+
+    def test_disk_tier_survives_new_instance(self, tmp_path):
+        ArtifactCache(root=tmp_path).store("graph", {"n": "x"}, {"v": 42})
+        fresh = ArtifactCache(root=tmp_path)
+        hit, value = fresh.lookup("graph", {"n": "x"})
+        assert hit and value == {"v": 42}
+        assert fresh.stats.disk_hits == 1
+
+    def test_get_or_create_runs_producer_once(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        calls = []
+
+        def producer():
+            calls.append(1)
+            return "value"
+
+        assert cache.get_or_create("k", {"a": 1}, producer) == "value"
+        assert cache.get_or_create("k", {"a": 1}, producer) == "value"
+        assert len(calls) == 1
+
+    def test_same_object_returned_in_process(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        first = cache.get_or_create("k", {"a": 1}, lambda: {"payload": 1})
+        second = cache.get_or_create("k", {"a": 1}, lambda: {"payload": 1})
+        assert first is second
+
+    def test_lru_eviction_bounded(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, memory_items=2, use_disk=False)
+        for i in range(5):
+            cache.store("k", {"i": i}, i)
+        assert len(cache._memory) == 2
+        hit, _ = cache.lookup("k", {"i": 0})
+        assert not hit  # evicted, and no disk tier to fall back on
+
+    def test_memory_only_mode_writes_nothing(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path, use_disk=False)
+        cache.store("k", {"a": 1}, "v")
+        assert not any(tmp_path.iterdir())
+
+    def test_corrupt_disk_entry_degrades_to_miss(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        cache.store("k", {"a": 1}, "v")
+        cache.clear_memory()
+        path = cache._path("k", cache.digest({"a": 1}))
+        path.write_bytes(b"not a pickle")
+        hit, _ = cache.lookup("k", {"a": 1})
+        assert not hit
+        assert cache.stats.disk_errors == 1
+
+    def test_disk_entries_are_plain_pickles(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        cache.store("k", {"a": 1}, [1, 2])
+        path = cache._path("k", cache.digest({"a": 1}))
+        assert pickle.loads(path.read_bytes()) == [1, 2]
+
+    def test_version_salt_changes_address(self, tmp_path, monkeypatch):
+        cache = ArtifactCache(root=tmp_path)
+        before = cache.digest({"a": 1})
+        monkeypatch.setattr("repro.runtime.cache.CACHE_VERSION", 2)
+        assert cache.digest({"a": 1}) != before
+
+
+class TestDatasetMemoization:
+    def test_load_served_from_disk_across_cache_instances(self, tmp_path, monkeypatch):
+        import repro.runtime.cache as cache_mod
+        from repro.experiments import datasets
+
+        monkeypatch.setenv("GRAMER_CACHE_DIR", str(tmp_path))
+        cache_mod.reset_default_cache()
+        try:
+            first = datasets.load("citeseer", "tiny")
+            assert cache_mod.default_cache().stats.misses >= 1
+            # Fresh process simulation: new cache singleton, same disk root.
+            cache_mod.reset_default_cache()
+            again = datasets.load("citeseer", "tiny")
+            assert cache_mod.default_cache().stats.disk_hits >= 1
+            assert sorted(again.edges()) == sorted(first.edges())
+        finally:
+            cache_mod.reset_default_cache()
+
+    def test_fsm_threshold_memoized(self, tmp_path, monkeypatch):
+        import repro.runtime.cache as cache_mod
+        from repro.experiments import datasets
+
+        monkeypatch.setenv("GRAMER_CACHE_DIR", str(tmp_path))
+        cache_mod.reset_default_cache()
+        try:
+            first = datasets.fsm_threshold("mico", "tiny")
+            stats = cache_mod.default_cache().stats
+            hits_before = stats.memory_hits
+            assert datasets.fsm_threshold("mico", "tiny") == first
+            assert stats.memory_hits > hits_before
+        finally:
+            cache_mod.reset_default_cache()

@@ -53,3 +53,41 @@ class TestCLI:
               "--out", str(tmp_path)])
         assert (tmp_path / "table4.txt").exists()
         assert (tmp_path / "results.json").exists()
+
+    def test_experiment_accepts_jobs_and_no_cache(self, tmp_path, capsys):
+        main(["experiment", "--scale", "tiny", "--only", "table2",
+              "--out", str(tmp_path), "--jobs", "2", "--no-cache"])
+        assert (tmp_path / "table2.txt").exists()
+
+    def test_sweep(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        main(["sweep", "--apps", "3-CF", "--datasets", "citeseer",
+              "--backends", "gramer", "fractal", "--scale", "tiny",
+              "--out", str(out)])
+        text = capsys.readouterr().out
+        assert "GRAMER" in text and "Fractal" in text
+        assert "2 jobs" in text
+        import json
+
+        payload = json.loads(out.read_text())
+        assert {r["backend"] for r in payload["results"]} == {"gramer", "fractal"}
+        assert all(r["ok"] for r in payload["results"])
+
+    def test_sweep_parallel_and_unknown_backend(self, capsys):
+        main(["sweep", "--apps", "3-CF", "--datasets", "citeseer", "p2p",
+              "--backends", "gramer", "--scale", "tiny", "--jobs", "2",
+              "--no-cache"])
+        assert "2 jobs" in capsys.readouterr().out
+        with pytest.raises(SystemExit, match="unknown backend"):
+            main(["sweep", "--apps", "3-CF", "--backends", "warp"])
+        with pytest.raises(SystemExit, match="unknown dataset"):
+            main(["sweep", "--apps", "3-CF", "--datasets", "nope"])
+
+    def test_sweep_exit_code_reflects_failures(self, capsys):
+        """A sweep containing failed cells must exit nonzero for scripts."""
+        with pytest.raises(SystemExit) as info:
+            main(["sweep", "--apps", "4-MC", "--datasets", "lj",
+                  "--backends", "gramer", "--scale", "tiny", "--jobs", "2",
+                  "--timeout", "0.01", "--no-cache"])
+        assert info.value.code == 1
+        assert "1 failed" in capsys.readouterr().out
