@@ -12,6 +12,7 @@ The card is clocked conservatively at 200 MHz.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any
 
 __all__ = ["GramerConfig", "ALVEO_U250_BRAM_BYTES"]
 
@@ -98,6 +99,6 @@ class GramerConfig:
         """On-chip graph-data footprint in bytes."""
         return self.onchip_entries * self.entry_bytes
 
-    def with_overrides(self, **kwargs) -> "GramerConfig":
+    def with_overrides(self, **kwargs: Any) -> "GramerConfig":
         """Copy with fields replaced (sweep helper)."""
         return replace(self, **kwargs)

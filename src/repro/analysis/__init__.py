@@ -1,0 +1,38 @@
+"""Repo-specific static analysis (``gramer check``).
+
+An AST-walking rule engine (:mod:`~repro.analysis.core`) plus five
+GRAMER-specific rule families (:mod:`~repro.analysis.rules`) protecting
+the invariants the execution runtime depends on: bit-deterministic
+simulation, cache purity, spec immutability, units hygiene, and
+cross-process safety.  See ``docs/static-analysis.md``.
+"""
+
+from .core import (
+    Finding,
+    ModuleContext,
+    Rule,
+    RuleError,
+    all_rules,
+    check_paths,
+    check_source,
+    format_finding,
+    get_rule,
+    iter_python_files,
+    rule,
+    select_rules,
+)
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "RuleError",
+    "all_rules",
+    "check_paths",
+    "check_source",
+    "format_finding",
+    "get_rule",
+    "iter_python_files",
+    "rule",
+    "select_rules",
+]

@@ -1,0 +1,316 @@
+"""The ``gramer check`` rule engine.
+
+A *rule* is a callable that walks one parsed module and yields
+:class:`Finding`\\ s; the engine parses each file once, hands the shared
+:class:`ModuleContext` to every selected rule, and filters out findings
+the source suppresses with an inline comment::
+
+    value = time.time()  # gramer: ignore[GRM102] -- wall time only
+
+Suppressions name the rule IDs they silence (``# gramer: ignore`` with no
+bracket silences every rule on that line).  They apply to the *first line*
+of the flagged statement, which is where the engine anchors every finding.
+
+Rules are registered declaratively (:func:`rule`) into a process-wide
+registry, keyed by a stable ID (``GRM<family><nn>``); families group IDs
+by the invariant they protect (determinism, cache purity, spec
+immutability, units hygiene, cross-process safety).  The engine itself is
+repo-agnostic — everything GRAMER-specific lives in
+:mod:`repro.analysis.rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "RuleError",
+    "all_rules",
+    "check_paths",
+    "check_source",
+    "format_finding",
+    "get_rule",
+    "iter_python_files",
+    "rule",
+    "select_rules",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*gramer:\s*ignore(?:\[(?P<ids>[A-Za-z0-9_,\s-]*)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file position."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule may inspect about one module: path, source, AST."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    # Path relative to the checked root, POSIX-style, for stable matching
+    # (rules that scope themselves to sub-packages match against this).
+    relpath: str
+
+    def finding(self, node: ast.AST, rule_id: str, message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            rule_id=rule_id,
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+RuleFn = Callable[[ModuleContext], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered check: stable ID, family, one-line doc, implementation."""
+
+    rule_id: str
+    family: str
+    summary: str
+    fn: RuleFn
+
+    def run(self, context: ModuleContext) -> Iterator[Finding]:
+        yield from self.fn(context)
+
+
+class RuleError(ValueError):
+    """Raised for unknown rule IDs or duplicate registrations."""
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, family: str, summary: str) -> Callable[[RuleFn], RuleFn]:
+    """Decorator registering ``fn`` as rule ``rule_id``."""
+
+    def decorate(fn: RuleFn) -> RuleFn:
+        if rule_id in _REGISTRY:
+            raise RuleError(f"rule {rule_id!r} registered twice")
+        _REGISTRY[rule_id] = Rule(
+            rule_id=rule_id, family=family, summary=summary, fn=fn
+        )
+        return fn
+
+    return decorate
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by ID (imports the rule modules)."""
+    _load_builtin_rules()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Resolve one rule by ID."""
+    _load_builtin_rules()
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise RuleError(
+            f"unknown rule {rule_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def _load_builtin_rules() -> None:
+    # Importing the package registers every built-in rule via the decorator.
+    from repro.analysis import rules  # noqa: F401
+
+
+def select_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Rules matching ``select`` (IDs or family names); all when ``None``."""
+    rules_ = all_rules()
+    if not select:
+        return rules_
+    wanted = {token.strip() for token in select if token.strip()}
+    known_ids = {r.rule_id for r in rules_}
+    known_families = {r.family for r in rules_}
+    unknown = wanted - known_ids - known_families
+    if unknown:
+        raise RuleError(
+            f"unknown rule or family {sorted(unknown)}; "
+            f"rules: {sorted(known_ids)}; families: {sorted(known_families)}"
+        )
+    return [
+        r for r in rules_ if r.rule_id in wanted or r.family in wanted
+    ]
+
+
+def _merge(
+    out: dict[int, frozenset[str] | None],
+    line: int,
+    ids: frozenset[str] | None,
+) -> None:
+    if line in out:
+        existing = out[line]
+        out[line] = (
+            None if existing is None or ids is None else existing | ids
+        )
+    else:
+        out[line] = ids
+
+
+def _suppressions(source: str) -> dict[int, frozenset[str] | None]:
+    """Map line number -> suppressed rule IDs (``None`` = every rule).
+
+    Parsed from real comment tokens, so a ``# gramer: ignore`` inside a
+    string literal does not silence anything.  A trailing comment covers
+    its own line; a *standalone* comment covers the next code line (so a
+    multi-line reason can sit above the statement it excuses).
+    """
+    source_lines = source.splitlines()
+
+    def comment_only(lineno: int) -> bool:  # 1-based line number
+        if lineno > len(source_lines):
+            return False
+        stripped = source_lines[lineno - 1].strip()
+        return not stripped or stripped.startswith("#")
+
+    out: dict[int, frozenset[str] | None] = {}
+    lines = iter(source.splitlines(keepends=True))
+    try:
+        tokens = tokenize.generate_tokens(lambda: next(lines, ""))
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if not match:
+                continue
+            ids_text = match.group("ids")
+            if ids_text is None or not ids_text.strip():
+                ids: frozenset[str] | None = None
+            else:
+                ids = frozenset(
+                    part.strip().upper()
+                    for part in ids_text.split(",")
+                    if part.strip()
+                )
+            line = token.start[0]
+            prefix = source_lines[line - 1][: token.start[1]]
+            if prefix.strip():
+                _merge(out, line, ids)  # trailing comment: this line
+            else:
+                # Standalone comment: attach to the next code line.
+                target = line + 1
+                while comment_only(target):
+                    target += 1
+                _merge(out, target, ids)
+    except tokenize.TokenError:
+        pass
+    return out
+
+
+def _is_suppressed(
+    finding: Finding, suppressions: dict[int, frozenset[str] | None]
+) -> bool:
+    if finding.line not in suppressions:
+        return False
+    ids = suppressions[finding.line]
+    return ids is None or finding.rule_id.upper() in ids
+
+
+def check_source(
+    source: str,
+    path: Path | str,
+    rules: Iterable[Rule] | None = None,
+    relpath: str | None = None,
+) -> list[Finding]:
+    """Run ``rules`` over one module's source; honors suppressions."""
+    path = Path(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule_id="GRM000",
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    context = ModuleContext(
+        path=path,
+        source=source,
+        tree=tree,
+        relpath=relpath if relpath is not None else path.as_posix(),
+    )
+    suppressions = _suppressions(source)
+    findings = [
+        finding
+        for r in (rules if rules is not None else all_rules())
+        for finding in r.run(context)
+        if not _is_suppressed(finding, suppressions)
+    ]
+    return sorted(findings, key=Finding.sort_key)
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    """Expand files/directories into sorted ``.py`` files."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            yield from sorted(
+                p for p in entry.rglob("*.py") if p.is_file()
+            )
+        elif entry.suffix == ".py":
+            yield entry
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {entry}")
+
+
+def check_paths(
+    paths: Iterable[Path | str],
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run the engine over files/trees; returns all findings, sorted."""
+    rules_ = select_rules(select)
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        findings.extend(
+            check_source(source, path, rules=rules_, relpath=path.as_posix())
+        )
+    return sorted(findings, key=Finding.sort_key)
+
+
+def format_finding(finding: Finding, style: str = "text") -> str:
+    """Render one finding (``text`` for humans, ``github`` for CI annotations)."""
+    if style == "github":
+        # https://docs.github.com/actions/reference/workflow-commands
+        return (
+            f"::error file={finding.path},line={finding.line},"
+            f"col={finding.col + 1},title={finding.rule_id}::{finding.message}"
+        )
+    if style == "text":
+        return (
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule_id} {finding.message}"
+        )
+    raise ValueError(f"unknown format {style!r} (use 'text' or 'github')")

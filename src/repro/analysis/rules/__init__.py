@@ -1,0 +1,23 @@
+"""Built-in GRAMER rule families.
+
+Importing this package registers every rule with the engine registry in
+:mod:`repro.analysis.core`.  Families and their ID blocks:
+
+* ``determinism`` (GRM1xx) — wall-clock reads and unseeded RNGs;
+* ``purity`` (GRM2xx) — environment reads, mutable module globals, and
+  filesystem access inside memoized code;
+* ``immutability`` (GRM3xx) — non-frozen spec/config dataclasses and
+  post-construction mutation of spec objects;
+* ``units`` (GRM4xx) — arithmetic mixing unit-suffixed quantities and
+  float equality on measured quantities;
+* ``crossproc`` (GRM5xx) — large objects or closures shipped through
+  process-pool submissions by value.
+"""
+
+from . import (  # noqa: F401  (import-for-registration)
+    crossproc,
+    determinism,
+    immutability,
+    purity,
+    units,
+)

@@ -198,6 +198,36 @@ def _cmd_sweep(args) -> None:
         raise SystemExit(1)
 
 
+def _cmd_check(args) -> None:
+    """Run the repo's static-analysis rules (see docs/static-analysis.md)."""
+    from repro.analysis import (
+        RuleError,
+        check_paths,
+        format_finding,
+        select_rules,
+    )
+
+    if args.list_rules:
+        for rule_ in select_rules(args.select):
+            print(f"{rule_.rule_id}  [{rule_.family:13s}] {rule_.summary}")
+        return
+    paths = args.paths or ["src"]
+    try:
+        findings = check_paths(paths, select=args.select)
+    except (RuleError, FileNotFoundError) as exc:
+        raise SystemExit(f"gramer check: {exc}") from None
+    for finding in findings:
+        print(format_finding(finding, style=args.format))
+    if findings:
+        families = sorted({f.rule_id for f in findings})
+        print(
+            f"gramer check: {len(findings)} finding(s) "
+            f"[{', '.join(families)}]"
+        )
+        raise SystemExit(1)
+    print("gramer check: clean")
+
+
 def _cmd_datasets(args) -> None:
     from repro.experiments import datasets
 
@@ -271,6 +301,22 @@ def main(argv: list[str] | None = None) -> None:
     sweep.add_argument("--out", default=None,
                        help="write structured sweep results to this JSON file")
     sweep.set_defaults(func=_cmd_sweep)
+
+    check = sub.add_parser(
+        "check",
+        help="static analysis: determinism/purity/units rules "
+             "(docs/static-analysis.md)",
+    )
+    check.add_argument("paths", nargs="*", default=None,
+                       help="files or directories to check (default: src)")
+    check.add_argument("--select", nargs="*", default=None,
+                       help="rule IDs or families to run (default: all)")
+    check.add_argument("--format", default="text",
+                       choices=["text", "github"],
+                       help="finding output style (github = CI annotations)")
+    check.add_argument("--list-rules", action="store_true",
+                       help="list registered rules and exit")
+    check.set_defaults(func=_cmd_check)
 
     ds = sub.add_parser("datasets", help="list the dataset proxies")
     ds.add_argument("--scale", default="small",

@@ -162,7 +162,7 @@ class CSRGraph:
         """Whether the undirected edge ``(u, v)`` exists (binary search)."""
         lo, hi = int(self.offsets[u]), int(self.offsets[u + 1])
         i = lo + bisect_left(self.neighbors[lo:hi], v)
-        return i < hi and self.neighbors[i] == v
+        return bool(i < hi and self.neighbors[i] == v)
 
     def edge_index(self, u: int, v: int) -> int | None:
         """Index into ``neighbors`` where ``v`` sits in ``u``'s slice.

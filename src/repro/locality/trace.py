@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Callable
 
 __all__ = ["AccessCounter", "IterationTrace", "CallbackMemory"]
 
@@ -92,7 +93,11 @@ class CallbackMemory:
 
     __slots__ = ("depth", "_on_vertex", "_on_edge")
 
-    def __init__(self, on_vertex, on_edge) -> None:
+    def __init__(
+        self,
+        on_vertex: Callable[[int], None],
+        on_edge: Callable[[int, int], None],
+    ) -> None:
         self.depth = 0
         self._on_vertex = on_vertex
         self._on_edge = on_edge

@@ -23,7 +23,9 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import dataclass, replace
-from typing import Protocol, runtime_checkable
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
 
 from repro.accel.config import GramerConfig
 from repro.accel.energy import EnergyParams, cpu_energy, gramer_energy
@@ -86,11 +88,11 @@ SCALE_OVERHEADS: dict[str, SystemOverheads] = {
 }
 
 
-def experiment_config(**overrides) -> GramerConfig:
+def experiment_config(**overrides: Any) -> GramerConfig:
     """The default accelerator configuration for all experiments."""
     from repro.experiments import datasets
 
-    base = dict(onchip_entries=datasets.EXPERIMENT_ONCHIP_ENTRIES)
+    base: dict[str, Any] = dict(onchip_entries=datasets.EXPERIMENT_ONCHIP_ENTRIES)
     base.update(overrides)
     return GramerConfig(**base)
 
@@ -132,7 +134,7 @@ def _graph_signature(graph: CSRGraph) -> str:
     return digest.hexdigest()
 
 
-def cached_vertex_rank(graph: CSRGraph):
+def cached_vertex_rank(graph: CSRGraph) -> np.ndarray:
     """ON1 rank permutation, content-addressed by the CSR arrays."""
     key = {"graph": _graph_signature(graph), "hops": 1}
     return default_cache().get_or_create(
@@ -231,7 +233,9 @@ def _scaled_cpu_config(spec: JobSpec) -> CPUConfig:
     return replace(base, **overrides) if overrides else base
 
 
-def _baseline_result(spec: JobSpec, system: str, model) -> JobResult:
+def _baseline_result(
+    spec: JobSpec, system: str, model: FractalModel | RStreamModel
+) -> JobResult:
     app = _make_app_for(spec)
     graph = resolve_graph(spec, app.needs_labels)
     start = time.perf_counter()

@@ -78,6 +78,8 @@ def stable_hash(obj: Any) -> str:
 
 def default_cache_root() -> Path:
     """Resolve the disk root: ``$GRAMER_CACHE_DIR`` or ``~/.cache/gramer-repro``."""
+    # gramer: ignore[GRM201] -- process-startup config: picks where the
+    # cache lives, never what any cached value contains.
     env = os.environ.get(_ENV_CACHE_DIR)
     if env:
         return Path(env).expanduser()
@@ -93,16 +95,13 @@ class CacheStats:
     misses: int = 0
     disk_errors: int = 0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, int]:
         return {
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "disk_errors": self.disk_errors,
         }
-
-
-_MISS = object()
 
 
 @dataclass

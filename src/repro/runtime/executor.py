@@ -28,6 +28,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent import futures as _futures
+from pathlib import Path
 from typing import Callable, Sequence
 
 from .backends import get_backend
@@ -46,6 +47,8 @@ def resolve_jobs(jobs: int | None = None) -> int:
     """Worker count: explicit argument, else ``$GRAMER_JOBS``, else 1."""
     if jobs is not None:
         return max(1, int(jobs))
+    # gramer: ignore[GRM201] -- process-startup config: worker count shapes
+    # scheduling only; results are fingerprint-identical at any width.
     env = os.environ.get(_ENV_JOBS, "").strip()
     if env:
         try:
@@ -93,7 +96,7 @@ def _pool_worker(
     Reconstructs the parent's cache from its root so job results land in
     the same store the parent (and future runs) will read.
     """
-    cache = ArtifactCache(root=cache_root, use_disk=cache_use_disk)
+    cache = ArtifactCache(root=Path(cache_root), use_disk=cache_use_disk)
     return run_spec(spec, use_cache=use_cache, cache=cache)
 
 

@@ -31,7 +31,7 @@ def _freeze_overrides(
 ) -> tuple[tuple[str, Any], ...]:
     if not overrides:
         return ()
-    frozen = []
+    frozen: list[tuple[str, Any]] = []
     for key in sorted(overrides):
         value = overrides[key]
         if hasattr(value, "item") and callable(value.item):
@@ -135,7 +135,7 @@ class JobResult:
     ok: bool
     seconds: float | None
     energy_j: float | None
-    detail: dict = field(default_factory=dict)
+    detail: dict[str, Any] = field(default_factory=dict)
     wall_seconds: float = 0.0
     error: str | None = None
     cached: bool = False
@@ -148,7 +148,7 @@ class JobResult:
         ``cached``) — the fields allowed to differ between a fresh run, a
         cached replay, and different ``--jobs`` fan-outs.
         """
-        payload = {
+        payload: dict[str, Any] = {
             "spec": asdict(self.spec),
             "system": self.system,
             "ok": self.ok,

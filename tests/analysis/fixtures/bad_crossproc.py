@@ -1,0 +1,22 @@
+"""Known-bad fixture: the cross-process rule (GRM5xx) must fire here."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_cell(graph, app):
+    return (graph.num_vertices, app)
+
+
+def fan_out(specs, graph, trace):
+    pool = ProcessPoolExecutor()
+    futures = [
+        pool.submit(run_cell, graph, spec)  # GRM501: graph by value
+        for spec in specs
+    ]
+    pool.submit(lambda: run_cell(graph, None))  # GRM501: closure capture
+    pool.map(run_cell, trace)  # GRM501: trace by value
+    return futures
+
+
+def keys_are_fine(pool, specs, cache_root):
+    return [pool.submit(run_cell, spec, cache_root) for spec in specs]

@@ -1,0 +1,53 @@
+"""Known-bad fixture: every determinism rule (GRM1xx) must fire here."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def stamp_result():
+    return time.time()  # GRM101: wall-clock read
+
+
+def stamp_result_ns():
+    started = time.time_ns()  # GRM101
+    return started
+
+
+def label_run():
+    return datetime.now().isoformat()  # GRM101
+
+
+def jitter():
+    return random.random()  # GRM102: process-global RNG
+
+
+def pick(items):
+    return random.choice(items)  # GRM102
+
+
+def make_rng():
+    return random.Random()  # GRM102: seedless Random()
+
+
+def seeded_rng_is_fine(seed):
+    return random.Random(seed)  # allowed: explicit seed
+
+
+def legacy_numpy():
+    return np.random.rand(4)  # GRM103: hidden global RNG
+
+
+def shuffle_vertices(ids):
+    np.random.shuffle(ids)  # GRM103
+    return ids
+
+
+def seedless_generator():
+    return np.random.default_rng()  # GRM103: OS entropy
+
+
+def seeded_generator_is_fine(seed):
+    return np.random.default_rng(seed)  # allowed

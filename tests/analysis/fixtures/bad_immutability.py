@@ -1,0 +1,34 @@
+"""Known-bad fixture: every spec-immutability rule (GRM3xx) must fire here."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SweepSpec:  # GRM301: spec-like dataclass not frozen
+    app: str
+    dataset: str
+
+
+@dataclass(frozen=False)
+class TuningConfig:  # GRM301: explicitly unfrozen
+    depth: int = 3
+
+
+@dataclass(frozen=True)
+class FrozenJobSpec:  # allowed
+    app: str
+
+
+@dataclass
+class ScratchCounters:  # allowed: not a Spec/Result/Config/Params name
+    hits: int = 0
+
+
+def retarget(spec, dataset):
+    spec.dataset = dataset  # GRM302: mutates a spec after construction
+    return spec
+
+
+def widen(config):
+    config.depth += 1  # GRM302 (augmented assignment)
+    return config

@@ -1,0 +1,41 @@
+"""Known-bad fixture: every cache-purity rule (GRM2xx) must fire here."""
+
+import functools
+import os
+
+seen_graphs = {}  # GRM202: lowercase mutable module global
+pending = []  # GRM202
+worker_slots = set()  # GRM202
+
+KNOWN_APPS = {"3-CF": 3}  # allowed: UPPER_CASE constant
+
+
+def read_tuning():
+    return os.environ.get("GRAMER_TUNING", "")  # GRM201
+
+
+def read_tuning_getenv():
+    return os.getenv("GRAMER_TUNING")  # GRM201
+
+
+class TunedBackend:
+    name = "tuned"
+
+    def run(self, spec):
+        flavor = os.environ["FLAVOR"]  # GRM201 + GRM203 (memoized scope)
+        with open("/tmp/tuning.json") as handle:  # GRM203
+            return (flavor, handle.read(), spec)
+
+
+@functools.lru_cache(maxsize=16)
+def cached_profile(name):
+    with open(name) as handle:  # GRM203: memoized function reads the fs
+        return handle.read()
+
+
+def warm(cache, key):
+    return cache.get_or_create(
+        "profile",
+        key,
+        lambda: open("/tmp/profile.bin").read(),  # GRM203: impure producer
+    )

@@ -1,0 +1,33 @@
+"""Known-bad fixture: every units rule (GRM4xx) must fire here."""
+
+
+def total_latency(setup_s, dram_cycles):
+    return setup_s + dram_cycles  # GRM401: seconds + cycles
+
+
+def energy_headroom(budget_j, spent_nj):
+    return budget_j - spent_nj  # GRM401: joules - nanojoules
+
+
+def too_slow(elapsed_ns, limit_s):
+    return elapsed_ns > limit_s  # GRM401: ordering across scales
+
+
+def same_unit_is_fine(memory_j, compute_j):
+    return memory_j + compute_j  # allowed
+
+
+def conversion_is_fine(cycles, clock_mhz):
+    return cycles / (clock_mhz * 1e6)  # allowed: * and / convert
+
+
+def hit_budget(energy_j):
+    return energy_j == 0.125  # GRM402: float equality on energy
+
+
+def same_runtime(seconds, other_seconds):
+    return seconds == other_seconds  # GRM402: equality on measured time
+
+
+def na_sentinel_is_fine(seconds):
+    return seconds == 0  # allowed: exact-zero N/A sentinel

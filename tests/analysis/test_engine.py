@@ -1,0 +1,153 @@
+"""The `gramer check` rule engine: registry, suppressions, formatting."""
+
+import pytest
+
+from repro.analysis import (
+    RuleError,
+    all_rules,
+    check_paths,
+    check_source,
+    format_finding,
+    get_rule,
+    select_rules,
+)
+
+WALL_CLOCK_LINE = "import time\nstamp = time.time()\n"
+
+
+class TestRegistry:
+    def test_all_five_families_registered(self):
+        families = {rule.family for rule in all_rules()}
+        assert families >= {
+            "determinism",
+            "purity",
+            "immutability",
+            "units",
+            "crossproc",
+        }
+
+    def test_rule_ids_sorted_and_unique(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+
+    def test_get_rule_resolves(self):
+        assert get_rule("GRM101").family == "determinism"
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(RuleError):
+            get_rule("GRM999")
+
+    def test_select_by_family_and_id(self):
+        by_family = select_rules(["units"])
+        assert {r.family for r in by_family} == {"units"}
+        by_id = select_rules(["GRM501"])
+        assert [r.rule_id for r in by_id] == ["GRM501"]
+
+    def test_select_unknown_raises(self):
+        with pytest.raises(RuleError):
+            select_rules(["NOPE"])
+
+
+class TestSuppressions:
+    def _ids(self, source):
+        return [f.rule_id for f in check_source(source, "snippet.py")]
+
+    def test_unsuppressed_finding_fires(self):
+        assert "GRM101" in self._ids(WALL_CLOCK_LINE)
+
+    def test_same_line_suppression(self):
+        source = "import time\nstamp = time.time()  # gramer: ignore[GRM101]\n"
+        assert self._ids(source) == []
+
+    def test_bare_ignore_suppresses_every_rule(self):
+        source = "import time\nstamp = time.time()  # gramer: ignore\n"
+        assert self._ids(source) == []
+
+    def test_standalone_comment_covers_next_code_line(self):
+        source = (
+            "import time\n"
+            "# gramer: ignore[GRM101] -- reason spanning\n"
+            "# a second comment line\n"
+            "stamp = time.time()\n"
+        )
+        assert self._ids(source) == []
+
+    def test_mismatched_id_does_not_suppress(self):
+        source = "import time\nstamp = time.time()  # gramer: ignore[GRM401]\n"
+        assert "GRM101" in self._ids(source)
+
+    def test_suppression_is_line_scoped(self):
+        source = (
+            "import time\n"
+            "a = time.time()  # gramer: ignore[GRM101]\n"
+            "b = time.time()\n"
+        )
+        findings = check_source(source, "snippet.py")
+        assert [f.line for f in findings] == [3]
+
+    def test_marker_inside_string_is_not_a_suppression(self):
+        source = (
+            "import time\n"
+            'text = "# gramer: ignore[GRM101]"\n'
+            "stamp = time.time()\n"
+        )
+        assert "GRM101" in self._ids(source)
+
+    def test_multiple_ids_in_one_comment(self):
+        source = (
+            "import time, random\n"
+            "x = time.time() + random.random()"
+            "  # gramer: ignore[GRM101, GRM102]\n"
+        )
+        assert self._ids(source) == []
+
+
+class TestEngine:
+    def test_syntax_error_becomes_grm000(self):
+        findings = check_source("def broken(:\n", "bad.py")
+        assert [f.rule_id for f in findings] == ["GRM000"]
+
+    def test_findings_are_sorted_and_positioned(self):
+        source = "import time\nb = time.time()\na = time.time()\n"
+        findings = check_source(source, "snippet.py")
+        assert [f.line for f in findings] == [2, 3]
+        assert all(f.path == "snippet.py" for f in findings)
+
+    def test_check_paths_walks_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text(WALL_CLOCK_LINE)
+        (tmp_path / "pkg" / "notes.txt").write_text("not python")
+        findings = check_paths([tmp_path])
+        assert [f.rule_id for f in findings] == ["GRM101"]
+
+    def test_check_paths_rejects_non_python_file(self, tmp_path):
+        target = tmp_path / "data.json"
+        target.write_text("{}")
+        with pytest.raises(FileNotFoundError):
+            check_paths([target])
+
+    def test_select_limits_rules_run(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(WALL_CLOCK_LINE)
+        assert check_paths([target], select=["units"]) == []
+        assert len(check_paths([target], select=["determinism"])) == 1
+
+
+class TestFormatting:
+    def _finding(self):
+        return check_source(WALL_CLOCK_LINE, "pkg/mod.py")[0]
+
+    def test_text_format(self):
+        line = format_finding(self._finding(), style="text")
+        assert line.startswith("pkg/mod.py:2:")
+        assert "GRM101" in line
+
+    def test_github_format(self):
+        line = format_finding(self._finding(), style="github")
+        assert line.startswith("::error file=pkg/mod.py,line=2,")
+        assert "title=GRM101" in line
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError):
+            format_finding(self._finding(), style="json")

@@ -1,0 +1,115 @@
+"""Rule families against the known-bad fixture corpus and the live tree."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import check_paths, check_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+# fixture file -> rule IDs that must all fire there.
+CORPUS = {
+    "bad_determinism.py": {"GRM101", "GRM102", "GRM103"},
+    "bad_purity.py": {"GRM201", "GRM202", "GRM203"},
+    "bad_immutability.py": {"GRM301", "GRM302"},
+    "bad_units.py": {"GRM401", "GRM402"},
+    "bad_crossproc.py": {"GRM501"},
+}
+
+
+class TestBadFixtureCorpus:
+    @pytest.mark.parametrize("filename", sorted(CORPUS))
+    def test_every_family_rule_fires(self, filename):
+        fired = {f.rule_id for f in check_paths([FIXTURES / filename])}
+        missing = CORPUS[filename] - fired
+        assert not missing, f"{filename} should trip {missing}"
+
+    def test_whole_corpus_is_nonzero(self):
+        assert len(check_paths([FIXTURES])) >= 30
+
+
+class TestAllowedIdioms:
+    """The sanctioned patterns next to each bad one must NOT be flagged."""
+
+    def _lines(self, filename, rule_id):
+        findings = check_paths([FIXTURES / filename])
+        return {f.line for f in findings if f.rule_id == rule_id}
+
+    def test_seeded_rngs_allowed(self):
+        source = (FIXTURES / "bad_determinism.py").read_text()
+        for needle in ("random.Random(seed)", "default_rng(seed)"):
+            lineno = next(
+                i
+                for i, line in enumerate(source.splitlines(), start=1)
+                if needle in line
+            )
+            assert lineno not in self._lines("bad_determinism.py", "GRM102")
+            assert lineno not in self._lines("bad_determinism.py", "GRM103")
+
+    def test_upper_case_constant_allowed(self):
+        findings = check_paths([FIXTURES / "bad_purity.py"])
+        assert not any("KNOWN_APPS" in f.message for f in findings)
+
+    def test_frozen_and_non_spec_dataclasses_allowed(self):
+        findings = check_paths([FIXTURES / "bad_immutability.py"])
+        messages = " ".join(f.message for f in findings)
+        assert "FrozenJobSpec" not in messages
+        assert "ScratchCounters" not in messages
+
+    def test_unit_conversions_and_zero_sentinel_allowed(self):
+        source = (FIXTURES / "bad_units.py").read_text()
+        allowed = [
+            i
+            for i, line in enumerate(source.splitlines(), start=1)
+            if "# allowed" in line
+        ]
+        flagged = {f.line for f in check_paths([FIXTURES / "bad_units.py"])}
+        assert not flagged & set(allowed)
+
+    def test_scalar_submission_allowed(self):
+        source = (FIXTURES / "bad_crossproc.py").read_text()
+        lineno = next(
+            i
+            for i, line in enumerate(source.splitlines(), start=1)
+            if "cache_root" in line and "submit" in line
+        )
+        flagged = {f.line for f in check_paths([FIXTURES / "bad_crossproc.py"])}
+        assert lineno not in flagged
+
+
+class TestLiveTree:
+    def test_src_tree_is_clean(self):
+        findings = check_paths([REPO_ROOT / "src" / "repro"])
+        formatted = "\n".join(
+            f"{f.path}:{f.line}: {f.rule_id} {f.message}" for f in findings
+        )
+        assert findings == [], f"live tree has findings:\n{formatted}"
+
+
+class TestRuleEdgeCases:
+    def test_perf_counter_is_allowed(self):
+        source = "import time\nstart = time.perf_counter()\n"
+        assert check_source(source, "s.py") == []
+
+    def test_rate_suffix_is_unitless(self):
+        source = "def f(x_s, bandwidth_bytes_per_s):\n    return x_s + bandwidth_bytes_per_s\n"
+        findings = check_source(source, "s.py")
+        assert [f.rule_id for f in findings] == []
+
+    def test_unit_comparison_to_literal_threshold_allowed(self):
+        source = "def f(seconds):\n    return seconds < 1e-3\n"
+        assert check_source(source, "s.py") == []
+
+    def test_self_attribute_assignment_allowed(self):
+        source = (
+            "class Sim:\n"
+            "    def __init__(self, config):\n"
+            "        self.config = config\n"
+        )
+        assert check_source(source, "s.py") == []
+
+    def test_non_pool_submit_receiver_allowed(self):
+        source = "def f(form, graph):\n    return form.submit(graph)\n"
+        assert check_source(source, "s.py") == []

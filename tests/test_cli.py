@@ -91,3 +91,40 @@ class TestCLI:
                   "--timeout", "0.01", "--no-cache"])
         assert info.value.code == 1
         assert "1 failed" in capsys.readouterr().out
+
+    def test_check_clean_file(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("VALUE = 3\n")
+        main(["check", str(target)])
+        assert "clean" in capsys.readouterr().out
+
+    def test_check_flags_bad_file_and_exits_nonzero(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("import time\nstamp = time.time()\n")
+        with pytest.raises(SystemExit) as info:
+            main(["check", str(target)])
+        assert info.value.code == 1
+        out = capsys.readouterr().out
+        assert "GRM101" in out and "1 finding" in out
+
+    def test_check_github_format(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("import time\nstamp = time.time()\n")
+        with pytest.raises(SystemExit):
+            main(["check", str(target), "--format", "github"])
+        assert "::error file=" in capsys.readouterr().out
+
+    def test_check_select_and_list_rules(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("import time\nstamp = time.time()\n")
+        main(["check", str(target), "--select", "units"])
+        assert "clean" in capsys.readouterr().out
+        main(["check", "--list-rules"])
+        out = capsys.readouterr().out
+        assert "GRM101" in out and "GRM501" in out
+
+    def test_check_unknown_rule_errors(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("VALUE = 3\n")
+        with pytest.raises(SystemExit, match="unknown rule"):
+            main(["check", str(target), "--select", "NOPE"])
