@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -48,6 +49,9 @@ from .config import GramerConfig
 from .frontend import dispatch_roots
 from .pu import ProcessingUnit
 from .stats import SimStats
+
+if TYPE_CHECKING:
+    from repro.obs.hooks import SimInstrument
 
 __all__ = ["GramerSimulator", "SimResult", "AncestorBufferOverflowError"]
 
@@ -130,9 +134,14 @@ class GramerSimulator:
         config: GramerConfig | None = None,
         vertex_rank: np.ndarray | None = None,
         use_on1_ranks: bool = True,
+        instrument: "SimInstrument | None" = None,
     ) -> None:
         self.graph = graph
         self.config = config if config is not None else GramerConfig()
+        # Purely observational (repro.obs.hooks.SimInstrument); every hook
+        # reads simulator state and never writes it, so a traced run is
+        # bit-identical to an untraced one.
+        self.instrument = instrument
         if vertex_rank is not None:
             self.vertex_rank = np.asarray(vertex_rank, dtype=np.int64)
             if len(self.vertex_rank) != graph.num_vertices:
@@ -250,6 +259,17 @@ class GramerSimulator:
             done = start + cfg.cache_hit_latency
         else:
             done = self.dram.service(start, address)
+            ins = self.instrument
+            if ins is not None:
+                ins.dram_fetch(
+                    pu.index,
+                    slot.slot_id,
+                    kind,
+                    address,
+                    ts=start,
+                    dur=done - start,
+                    channel=address % cfg.dram_channels,
+                )
         if kind == _OP_VERTEX:
             if level is AccessLevel.HIGH:
                 stats.vertex_high_hits += 1
@@ -283,6 +303,9 @@ class GramerSimulator:
             degrees=graph.degrees(),
         )
         pus = [ProcessingUnit(p, cfg) for p in range(cfg.num_pus)]
+        ins = self.instrument
+        if ins is not None:
+            ins.begin_run(cfg.num_pus, stats)
 
         heap: list[tuple[int, int, int, int]] = []
         seq = 0
@@ -297,13 +320,18 @@ class GramerSimulator:
             slot = pu.slots[s]
             if t > slot.time:
                 slot.time = t
+            if ins is not None:
+                ins.advance(t, stats, pus)
 
             if slot.pending:
                 before = slot.time
                 self._service_op(pu, slot, first=False)
                 slot.busy_cycles += slot.time - before
-                if not slot.pending and slot.idle:
-                    pu.busy_slots -= 1
+                if not slot.pending:
+                    if slot.idle:
+                        pu.busy_slots -= 1
+                    if ins is not None:
+                        ins.step_finished(p, s, slot.time)
                 heapq.heappush(heap, (slot.time, seq, p, s))
                 seq += 1
                 continue
@@ -318,14 +346,20 @@ class GramerSimulator:
                     stats.roots_dispatched += 1
                     pu.busy_slots += 1
                     pu.stealing_buffer.push(s)
+                    if ins is not None:
+                        ins.root_dispatched(p, s, root, slot.time)
                 elif cfg.work_stealing and pu.busy_slots > 0:
                     stats.steal_attempts += 1
+                    if ins is not None:
+                        ins.steal_attempted(p, s, slot.time)
                     stolen = pu.try_steal(slot)
                     if stolen is not None:
                         slot.stack.append(stolen)
                         stats.steals += 1
                         pu.busy_slots += 1
                         pu.stealing_buffer.push(s)
+                        if ins is not None:
+                            ins.steal_succeeded(p, s, slot.time)
                     else:
                         heapq.heappush(
                             heap, (slot.time + _STEAL_RETRY_CYCLES, seq, p, s)
@@ -337,12 +371,17 @@ class GramerSimulator:
 
             # Record the next step; its first operation claims the issue
             # port now, the rest replay as later events.
+            if ins is not None:
+                ins.step_started(p, s, slot.time, len(slot.stack))
             self._record_step(pu, slot, app)
             before = slot.time
             self._service_op(pu, slot, first=True)
             slot.busy_cycles += slot.time - before
-            if not slot.pending and slot.idle:
-                pu.busy_slots -= 1
+            if not slot.pending:
+                if slot.idle:
+                    pu.busy_slots -= 1
+                if ins is not None:
+                    ins.step_finished(p, s, slot.time)
             heapq.heappush(heap, (slot.time, seq, p, s))
             seq += 1
 
@@ -356,4 +395,6 @@ class GramerSimulator:
         stats.pu_busy_cycles = [
             sum(slot.busy_cycles for slot in pu.slots) for pu in pus
         ]
+        if ins is not None:
+            ins.finish_run(stats, pus)
         return SimResult(stats=stats, mining=app.result(), config=cfg)

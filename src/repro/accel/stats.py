@@ -8,7 +8,12 @@ side of Fig. 3's methodology), and load-balance/steal counters (Fig. 13b).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from itertools import zip_longest
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["SimStats"]
 
@@ -85,3 +90,82 @@ class SimStats:
     def seconds(self, clock_mhz: float) -> float:
         """Wall-clock time at the given clock."""
         return self.cycles / (clock_mhz * 1e6)
+
+    def as_dict(self) -> dict[str, object]:
+        """All counters as a plain dict (lists copied, JSON-friendly).
+
+        The windowed timeline sampler differences consecutive ``as_dict``
+        snapshots; the scalar fields are exactly the counters a window can
+        attribute, so new fields become windowable automatically.
+        """
+        out: dict[str, object] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            out[spec.name] = list(value) if isinstance(value, list) else value
+        return out
+
+    @classmethod
+    def merge(cls, runs: Iterable["SimStats"]) -> "SimStats":
+        """Aggregate several runs into one summary ``SimStats``.
+
+        Scalar counters sum.  Per-PU lists add element-wise, padding the
+        shorter list with zeros so runs with different PU counts still
+        merge (``cycles`` then reads as total simulated cycles across
+        runs, not a concurrent makespan — callers wanting a makespan
+        should track it separately).
+        """
+        merged = cls()
+        for run in runs:
+            for spec in fields(cls):
+                ours = getattr(merged, spec.name)
+                theirs = getattr(run, spec.name)
+                if isinstance(ours, list):
+                    setattr(
+                        merged,
+                        spec.name,
+                        [
+                            a + b
+                            for a, b in zip_longest(ours, theirs, fillvalue=0)
+                        ],
+                    )
+                else:
+                    setattr(merged, spec.name, ours + theirs)
+        return merged
+
+    def publish(self, registry: "MetricsRegistry") -> None:
+        """Publish counters into a metrics registry (labels, not suffixes)."""
+        accesses = registry.counter(
+            "sim_accesses_total", "memory requests by side and service level"
+        )
+        accesses.inc(self.vertex_high_hits, side="vertex", level="high")
+        accesses.inc(self.vertex_low_hits, side="vertex", level="low")
+        accesses.inc(self.vertex_misses, side="vertex", level="miss")
+        accesses.inc(self.edge_high_hits, side="edge", level="high")
+        accesses.inc(self.edge_low_hits, side="edge", level="low")
+        accesses.inc(self.edge_misses, side="edge", level="miss")
+        waits = registry.counter(
+            "sim_wait_cycles_total", "slot-cycles stalled on memory by side"
+        )
+        waits.inc(self.vertex_wait_cycles, side="vertex")
+        waits.inc(self.edge_wait_cycles, side="edge")
+        registry.counter(
+            "sim_compute_cycles_total", "slot-cycles of pipeline compute"
+        ).inc(self.compute_cycles)
+        registry.counter(
+            "sim_cycles_total", "end-to-end simulated cycles"
+        ).inc(self.cycles)
+        steals = registry.counter(
+            "sim_steal_events_total", "steal probes by outcome"
+        )
+        steals.inc(self.steals, outcome="hit")
+        steals.inc(
+            max(0, self.steal_attempts - self.steals), outcome="miss"
+        )
+        hit_ratio = registry.gauge(
+            "sim_hit_ratio", "on-chip hit ratio by side (Fig. 12a metric)"
+        )
+        hit_ratio.set(self.vertex_hit_ratio, side="vertex")
+        hit_ratio.set(self.edge_hit_ratio, side="edge")
+        registry.gauge(
+            "sim_load_imbalance", "max-over-mean PU busy cycles"
+        ).set(self.load_imbalance)

@@ -11,13 +11,15 @@ Importing this package registers every rule with the engine registry in
 * ``units`` (GRM4xx) — arithmetic mixing unit-suffixed quantities and
   float equality on measured quantities;
 * ``crossproc`` (GRM5xx) — large objects or closures shipped through
-  process-pool submissions by value.
+  process-pool submissions by value;
+* ``observability`` (GRM6xx) — bare ``print()`` bypassing the obs layer.
 """
 
 from . import (  # noqa: F401  (import-for-registration)
     crossproc,
     determinism,
     immutability,
+    observability,
     purity,
     units,
 )

@@ -7,6 +7,8 @@
     gramer simulate --dataset p2p --app 5-CF --slots 16
     gramer experiment --only table3 fig12 --scale small --jobs 4
     gramer sweep --apps 3-CF 4-MC --datasets citeseer p2p --jobs 4
+    gramer trace 3-CF citeseer --out trace.json
+    gramer profile --dataset citeseer --app 3-CF --scale tiny
     gramer datasets
 
 (``gramer`` is the console script; ``python -m repro.cli`` works too.)
@@ -77,9 +79,14 @@ def _cmd_simulate(args) -> None:
         onchip_entries=args.onchip_entries or max(64, data_entries // 4),
         work_stealing=not args.no_stealing,
     )
+    instrument = None
+    if args.trace:
+        from repro.obs import SimInstrument
+
+        instrument = SimInstrument(window_cycles=args.trace_window)
     print(degree_stats(graph).describe())
     start = time.perf_counter()
-    result = GramerSimulator(graph, config).run(app)
+    result = GramerSimulator(graph, config, instrument=instrument).run(app)
     stats = result.stats
     print(
         f"simulated in {time.perf_counter() - start:.2f}s host time\n"
@@ -90,6 +97,13 @@ def _cmd_simulate(args) -> None:
         f"DRAM {stats.dram_accesses:,}; steals {stats.steals:,}\n"
         f"on-chip energy {gramer_energy(stats, config).total_j * 1e3:.3f} mJ"
     )
+    if instrument is not None:
+        tracer = instrument.tracer
+        path = tracer.write_chrome(args.trace)
+        print(
+            f"wrote {path} ({len(tracer)} events, "
+            f"categories: {', '.join(sorted(tracer.categories()))})"
+        )
     _print_result(result.mining)
 
 
@@ -136,10 +150,16 @@ def _cmd_sweep(args) -> None:
         for graph in graphs
         for backend in backends
     ]
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     executor = Executor(
         jobs=args.jobs,
         timeout_s=args.timeout,
         use_cache=not args.no_cache,
+        tracer=tracer,
     )
     start = time.perf_counter()
     results = executor.run(specs)
@@ -169,6 +189,17 @@ def _cmd_sweep(args) -> None:
         f"{len(results)} jobs ({cached} cached, {failed} failed) in "
         f"{wall:.2f}s with {executor.jobs} worker(s)"
     )
+    slowest = sorted(results, key=lambda r: -r.wall_seconds)[:3]
+    if slowest and slowest[0].wall_seconds > 0:
+        print("slowest jobs:")
+        for r in slowest:
+            status = "cached" if r.cached else ("ok" if r.ok else "failed")
+            print(
+                f"  {r.wall_seconds:8.3f}s  {r.spec.label():40s} [{status}]"
+            )
+    if tracer is not None:
+        path = tracer.write_chrome(args.trace)
+        print(f"wrote {path} ({len(tracer)} executor events)")
     if args.out:
         save_results(
             {
@@ -196,6 +227,69 @@ def _cmd_sweep(args) -> None:
         print(f"wrote {args.out}")
     if failed:
         raise SystemExit(1)
+
+
+def _cmd_trace(args) -> None:
+    """Traced run of one (app, dataset) cell; writes Chrome-trace JSON."""
+    from repro.experiments import datasets
+    from repro.experiments.harness import cell_jobspec
+    from repro.obs import SimInstrument, Tracer
+    from repro.runtime import Executor
+
+    if args.dataset not in datasets.DATASETS:
+        raise SystemExit(
+            f"unknown dataset {args.dataset!r}; see `gramer datasets`"
+        )
+    tracer = Tracer()
+    instrument = SimInstrument(tracer=tracer, window_cycles=args.window)
+    spec = cell_jobspec("gramer", args.app, args.dataset, args.scale)
+    executor = Executor(jobs=1, use_cache=False, tracer=tracer)
+    result = executor.run([spec], instrument=instrument)[0]
+    if not result.ok:
+        raise SystemExit(f"trace run failed: {result.error}")
+    path = tracer.write_chrome(args.out)
+    print(
+        f"{spec.label()}: {result.detail.get('cycles', 0):,} cycles, "
+        f"{len(instrument.sampler.windows)} timeline window(s), "
+        f"{len(instrument.steal_latencies)} steal wait(s)"
+    )
+    print(
+        f"wrote {path} ({len(tracer)} events, "
+        f"categories: {', '.join(sorted(tracer.categories()))})"
+    )
+    if args.jsonl:
+        print(f"wrote {tracer.write_jsonl(args.jsonl)}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+
+
+def _cmd_profile(args) -> None:
+    """Instrumented run + text profile report (docs/observability.md)."""
+    from repro.accel.config import GramerConfig
+    from repro.obs import MetricsRegistry, SimInstrument, render_profile
+
+    app = make_app(args.app)
+    graph = _resolve_graph(args, app.needs_labels)
+    data_entries = graph.num_vertices + len(graph.neighbors)
+    config = GramerConfig(
+        onchip_entries=args.onchip_entries or max(64, data_entries // 4),
+    )
+    registry = MetricsRegistry()
+    instrument = SimInstrument(
+        window_cycles=args.window, registry=registry
+    )
+    sim = GramerSimulator(graph, config, instrument=instrument)
+    result = sim.run(app)
+    sim.hierarchy.publish(registry)
+    print(
+        render_profile(
+            result.stats,
+            instrument=instrument,
+            pressure=sim.hierarchy.low_cache_pressure(),
+        )
+    )
+    if args.metrics:
+        print()
+        print(registry.render_text())
 
 
 def _cmd_check(args) -> None:
@@ -266,6 +360,10 @@ def main(argv: list[str] | None = None) -> None:
     simulate.add_argument("--slots", type=int, default=16)
     simulate.add_argument("--onchip-entries", type=int, default=None)
     simulate.add_argument("--no-stealing", action="store_true")
+    simulate.add_argument("--trace", default=None, metavar="PATH",
+                          help="write a Chrome-trace of the run to PATH")
+    simulate.add_argument("--trace-window", type=int, default=1024,
+                          help="timeline window width in cycles")
     simulate.set_defaults(func=_cmd_simulate)
 
     experiment = sub.add_parser("experiment",
@@ -300,7 +398,39 @@ def main(argv: list[str] | None = None) -> None:
                        help="recompute cells instead of reusing cached results")
     sweep.add_argument("--out", default=None,
                        help="write structured sweep results to this JSON file")
+    sweep.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a Chrome-trace of job lifecycle to PATH")
     sweep.set_defaults(func=_cmd_sweep)
+
+    trace = sub.add_parser(
+        "trace",
+        help="traced simulator run -> Chrome-trace/Perfetto file "
+             "(docs/observability.md)",
+    )
+    trace.add_argument("app", help="application, e.g. 3-CF")
+    trace.add_argument("dataset", help="proxy dataset name")
+    trace.add_argument("--scale", default="tiny",
+                       choices=["tiny", "small", "full"])
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome-trace output path (default: trace.json)")
+    trace.add_argument("--jsonl", default=None, metavar="PATH",
+                       help="also write one event per line to PATH")
+    trace.add_argument("--window", type=int, default=1024,
+                       help="timeline window width in cycles")
+    trace.set_defaults(func=_cmd_trace)
+
+    profile = sub.add_parser(
+        "profile",
+        parents=[common],
+        help="instrumented run + text profile report "
+             "(stalls, cache pressure, steal latency)",
+    )
+    profile.add_argument("--onchip-entries", type=int, default=None)
+    profile.add_argument("--window", type=int, default=1024,
+                         help="timeline window width in cycles")
+    profile.add_argument("--metrics", action="store_true",
+                         help="also dump the metrics registry")
+    profile.set_defaults(func=_cmd_profile)
 
     check = sub.add_parser(
         "check",

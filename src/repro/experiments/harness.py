@@ -19,7 +19,10 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from repro.obs.hooks import SimInstrument
 
 from repro.accel.config import GramerConfig
 from repro.accel.energy import EnergyParams
@@ -104,9 +107,17 @@ def cell_from_result(result: JobResult) -> CellResult:
     )
 
 
-def run_cell(spec: JobSpec, use_cache: bool = True) -> CellResult:
-    """Execute one cell spec through the backend registry."""
-    result = run_spec(spec, use_cache=use_cache)
+def run_cell(
+    spec: JobSpec,
+    use_cache: bool = True,
+    instrument: "SimInstrument | None" = None,
+) -> CellResult:
+    """Execute one cell spec through the backend registry.
+
+    ``instrument`` attaches observability hooks (and bypasses the cache
+    so the simulator actually runs); see :mod:`repro.obs`.
+    """
+    result = run_spec(spec, use_cache=use_cache, instrument=instrument)
     if not result.ok:
         raise RuntimeError(f"cell {spec.label()} failed: {result.error}")
     return cell_from_result(result)

@@ -25,6 +25,7 @@ import time
 from concurrent import futures as _futures
 from pathlib import Path
 
+from repro.obs.log import console
 from repro.runtime.executor import Executor, resolve_jobs
 
 from . import (
@@ -222,14 +223,14 @@ def main(argv: list[str] | None = None) -> None:
         if name not in reports:
             continue
         text, data = reports[name]
-        print(f"\n{'=' * 72}\n{text}", flush=True)
+        console(f"\n{'=' * 72}\n{text}")
         payload[name] = data
         (out_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
 
     payload["wall_seconds"] = time.perf_counter() - start
     with open(out_dir / "results.json", "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, default=str)
-    print(
+    console(
         f"\nCompleted {len(selected)} experiments in "
         f"{payload['wall_seconds']:.0f}s; results under {out_dir}/"
     )

@@ -9,6 +9,7 @@ next to the paper's speedup for the same cell.
 
 from __future__ import annotations
 
+from repro.obs.log import console, get_logger
 from repro.runtime.executor import Executor
 from repro.runtime.spec import JobResult, JobSpec
 
@@ -17,6 +18,8 @@ from .datasets import DATASET_ORDER
 from .paper_data import TABLE3_APPS, paper_speedup
 
 __all__ = ["run", "main", "speedup_rows", "cell_specs"]
+
+_log = get_logger("experiments.table3")
 
 _SYSTEMS = ("gramer", "fractal", "rstream")
 
@@ -60,17 +63,16 @@ def run(
         spec = result.spec
         shown = format_seconds(result.seconds) if result.ok else "FAILED"
         suffix = " [cached]" if result.cached else ""
-        print(
+        console(
             f"  {result.system:8s} {spec.app:5s} {spec.graph_name:9s} "
             f"{shown:>10s} (host {result.wall_seconds:.1f}s)"
-            f"{suffix}",
-            flush=True,
+            f"{suffix}"
         )
 
     results = executor.run(specs, progress=progress)
     failures = [r for r in results if not r.ok]
     for failure in failures:
-        print(f"  FAILED {failure.spec.label()}: {failure.error}", flush=True)
+        _log.warning("FAILED %s: %s", failure.spec.label(), failure.error)
     return [cell_from_result(r) for r in results if r.ok]
 
 

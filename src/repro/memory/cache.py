@@ -10,8 +10,12 @@ answers "would this access hit?" and keeps exact counters.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from .policies import LineState, LRUPolicy, ReplacementPolicy
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["CacheStats", "SetAssociativeCache"]
 
@@ -61,6 +65,7 @@ class SetAssociativeCache:
         self._sets = [
             [LineState() for _ in range(ways)] for _ in range(num_sets)
         ]
+        self._set_evictions = [0] * num_sets
         self._clock = 0
 
     @property
@@ -84,7 +89,7 @@ class SetAssociativeCache:
                 self.stats.hits += 1
                 return True
         self.stats.misses += 1
-        self._fill(lines, tag, rank)
+        self._fill(set_index, lines, tag, rank)
         return False
 
     def probe(self, address: int) -> bool:
@@ -94,7 +99,9 @@ class SetAssociativeCache:
             line.valid and line.tag == tag for line in self._sets[set_index]
         )
 
-    def _fill(self, lines: list[LineState], tag: int, rank: int) -> None:
+    def _fill(
+        self, set_index: int, lines: list[LineState], tag: int, rank: int
+    ) -> None:
         for line in lines:
             if not line.valid:
                 self._install(line, tag, rank)
@@ -105,6 +112,7 @@ class SetAssociativeCache:
                 f"policy {self.policy.name!r} returned invalid way {way}"
             )
         self.stats.evictions += 1
+        self._set_evictions[set_index] += 1
         self._install(lines[way], tag, rank)
 
     def _install(self, line: LineState, tag: int, rank: int) -> None:
@@ -113,6 +121,51 @@ class SetAssociativeCache:
         line.rank = rank
         line.last_access = self._clock
         line.fill_seq = self._clock
+
+    def set_eviction_counts(self) -> list[int]:
+        """Evictions per set, in set order (copy)."""
+        return list(self._set_evictions)
+
+    def set_pressure(self, hot_sets: int = 3) -> dict[str, object]:
+        """Per-set eviction pressure summary for the profile report.
+
+        Uneven pressure (a few sets absorbing most evictions) is the
+        conflict-miss signature the set-indexed layout can hide behind an
+        innocuous aggregate hit ratio.
+        """
+        counts = self._set_evictions
+        total = sum(counts)
+        hottest = sorted(
+            range(self.num_sets), key=lambda i: (-counts[i], i)
+        )[:hot_sets]
+        return {
+            "sets": self.num_sets,
+            "evictions": total,
+            "max": max(counts) if counts else 0,
+            "mean": total / self.num_sets if self.num_sets else 0.0,
+            "hot_sets": [(i, counts[i]) for i in hottest if counts[i]],
+        }
+
+    def publish(self, registry: "MetricsRegistry", **labels: object) -> None:
+        """Publish access counters into a metrics registry.
+
+        Extra ``labels`` (e.g. ``cache="vertex"``) distinguish instances
+        sharing one registry.
+        """
+        events = registry.counter(
+            "cache_events_total", "set-associative cache events by kind"
+        )
+        events.inc(self.stats.hits, event="hit", **labels)
+        events.inc(self.stats.misses, event="miss", **labels)
+        events.inc(self.stats.evictions, event="eviction", **labels)
+        registry.gauge(
+            "cache_hit_ratio", "hits over accesses per cache instance"
+        ).set(self.stats.hit_ratio, **labels)
+        pressure = registry.histogram(
+            "cache_set_evictions", "distribution of evictions across sets"
+        )
+        for count in self._set_evictions:
+            pressure.observe(count, **labels)
 
     def resident_tags(self) -> set[int]:
         """All currently valid tags (for invariants in tests)."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -29,6 +30,9 @@ from repro.graph.csr import CSRGraph
 from .cache import SetAssociativeCache
 from .policies import LocalityPreservedPolicy, LRUPolicy, ReplacementPolicy
 from .scratchpad import Scratchpad
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "AccessLevel",
@@ -107,6 +111,19 @@ class MemorySide:
         self.stats.misses += 1
         return AccessLevel.MISS
 
+    def publish(self, registry: "MetricsRegistry") -> None:
+        """Publish this side's level counters into a metrics registry."""
+        accesses = registry.counter(
+            "memory_accesses_total",
+            "hierarchy requests by side and service level",
+        )
+        accesses.inc(self.stats.high_hits, side=self.name, level="high")
+        accesses.inc(self.stats.low_hits, side=self.name, level="low")
+        accesses.inc(self.stats.misses, side=self.name, level="miss")
+        registry.gauge(
+            "memory_hit_ratio", "on-chip hit ratio per side"
+        ).set(self.stats.hit_ratio, side=self.name)
+
 
 class LocalityAwareHierarchy:
     """Vertex + edge memory pair with a shared rank mapping.
@@ -153,6 +170,33 @@ class LocalityAwareHierarchy:
             "vertex": self.vertex_side.stats.hit_ratio,
             "edge": self.edge_side.stats.hit_ratio,
         }
+
+    def low_cache_pressure(self) -> dict[str, dict[str, object]]:
+        """Set-pressure summaries of the low-priority caches by side.
+
+        The uniform baseline shares one cache between both sides; it
+        appears once under ``"shared"``.
+        """
+        vertex_cache = self.vertex_side.low_cache
+        edge_cache = self.edge_side.low_cache
+        if vertex_cache is edge_cache:
+            return {"shared": vertex_cache.set_pressure()}
+        return {
+            "vertex": vertex_cache.set_pressure(),
+            "edge": edge_cache.set_pressure(),
+        }
+
+    def publish(self, registry: "MetricsRegistry") -> None:
+        """Publish both sides plus their low-cache internals."""
+        self.vertex_side.publish(registry)
+        self.edge_side.publish(registry)
+        vertex_cache = self.vertex_side.low_cache
+        edge_cache = self.edge_side.low_cache
+        if vertex_cache is edge_cache:
+            vertex_cache.publish(registry, cache="shared")
+        else:
+            vertex_cache.publish(registry, cache="vertex")
+            edge_cache.publish(registry, cache="edge")
 
 
 def default_tau(graph: CSRGraph, total_entries: int) -> float:

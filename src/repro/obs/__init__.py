@@ -1,0 +1,69 @@
+"""Observability subsystem: metrics, event tracing, windowed timelines.
+
+Three pillars (see ``docs/observability.md``):
+
+* :mod:`repro.obs.metrics` — a process-local registry of labeled
+  counters/gauges/histograms that ``SimStats``, the memory hierarchy, and
+  the artifact cache publish into;
+* :mod:`repro.obs.tracer` — structured spans/instants serialized to JSONL
+  and Chrome-trace (Perfetto-loadable) formats, with :class:`NullTracer`
+  as the zero-overhead disabled path;
+* :mod:`repro.obs.timeline` — a windowed sampler that turns end-of-run
+  counters into per-window trajectories (hit ratios, stall attribution,
+  occupancy phases).
+
+:mod:`repro.obs.hooks` wires the three into the simulator's event loop;
+:mod:`repro.obs.report` renders the ``gramer profile`` text report; and
+:mod:`repro.obs.log` is the sanctioned logging/console channel enforced
+by ``gramer check`` rule GRM601.
+"""
+
+from .hooks import SimInstrument
+from .log import console, get_logger
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+from .report import render_profile
+from .timeline import TimelineSampler, TimelineWindow
+from .tracer import (
+    CATEGORY_EXECUTOR,
+    CATEGORY_MEMORY,
+    CATEGORY_PU,
+    CATEGORY_STEAL,
+    NullTracer,
+    PID_EXECUTOR,
+    PID_TIMELINE,
+    SIM_PID_BASE,
+    TraceEvent,
+    Tracer,
+    validate_event,
+)
+
+__all__ = [
+    "CATEGORY_EXECUTOR",
+    "CATEGORY_MEMORY",
+    "CATEGORY_PU",
+    "CATEGORY_STEAL",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "PID_EXECUTOR",
+    "PID_TIMELINE",
+    "SIM_PID_BASE",
+    "SimInstrument",
+    "TimelineSampler",
+    "TimelineWindow",
+    "TraceEvent",
+    "Tracer",
+    "console",
+    "get_logger",
+    "percentile",
+    "render_profile",
+    "validate_event",
+]

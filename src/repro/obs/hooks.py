@@ -1,0 +1,216 @@
+"""SimInstrument — the simulator-facing facade over tracer + timeline.
+
+:class:`~repro.accel.sim.GramerSimulator` accepts an optional instrument
+and calls its hooks from the event loop (root dispatch, extension steps,
+DRAM fetches, steal waits) — each hook is purely observational: it reads
+simulator state, never writes it, so a traced run produces bit-identical
+``SimStats`` to an untraced one (asserted by tests).
+
+Time base: the hooks receive simulated *cycles* and forward them to the
+tracer as microseconds one-for-one (see ``repro.obs.tracer``).  Track
+layout: PU ``p`` renders as process ``SIM_PID_BASE + p`` with one thread
+per slot; windowed counters render as process ``PID_TIMELINE``.
+
+The instrument also aggregates what per-event traces cannot show
+directly: steal-wait latencies (first failed attempt → successful steal,
+per slot) and the closed timeline windows, both of which feed the
+``gramer profile`` report and the optional metrics registry.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from .metrics import MetricsRegistry
+from .timeline import TimelineSampler, TimelineWindow
+from .tracer import (
+    CATEGORY_MEMORY,
+    CATEGORY_PU,
+    CATEGORY_STEAL,
+    PID_TIMELINE,
+    SIM_PID_BASE,
+    Tracer,
+)
+
+__all__ = ["SimInstrument"]
+
+_KIND_NAMES = ("vertex", "edge")
+
+
+class _StatsLike(Protocol):
+    cycles: int
+
+    def as_dict(self) -> dict[str, object]: ...
+
+
+class _PULike(Protocol):
+    busy_slots: int
+
+
+class SimInstrument:
+    """Observational hooks the simulator calls when tracing is enabled."""
+
+    def __init__(
+        self,
+        tracer: Tracer | None = None,
+        window_cycles: int = 1024,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.registry = registry
+        self.sampler = TimelineSampler(window_cycles)
+        self.steal_latencies: list[int] = []
+        # (pu, slot) -> (first failed attempt cycle, attempt count) for the
+        # steal-wait spell currently in progress.
+        self._steal_wait: dict[tuple[int, int], tuple[int, int]] = {}
+        # (pu, slot) -> (start cycle, stack depth) of the step in flight.
+        self._step: dict[tuple[int, int], tuple[int, int]] = {}
+
+    # -- run lifecycle ------------------------------------------------------
+
+    def begin_run(self, num_pus: int, stats: _StatsLike) -> None:
+        """Name the viewer tracks and take the opening timeline snapshot."""
+        tracer = self.tracer
+        tracer.metadata(PID_TIMELINE, 0, "process_name", "timeline")
+        for p in range(num_pus):
+            tracer.metadata(SIM_PID_BASE + p, 0, "process_name", f"PU {p}")
+        self.sampler.begin(stats)
+
+    def advance(
+        self, now: int, stats: _StatsLike, pus: Sequence[_PULike]
+    ) -> None:
+        """Drive the timeline sampler from the event loop's clock."""
+        for window in self.sampler.advance(now, stats, pus):
+            self._emit_window(window)
+
+    def finish_run(self, stats: _StatsLike, pus: Sequence[_PULike]) -> None:
+        """Flush the final timeline window and publish end-of-run metrics."""
+        for window in self.sampler.finish(stats.cycles, stats, pus):
+            self._emit_window(window)
+        registry = self.registry
+        if registry is not None:
+            publish = getattr(stats, "publish", None)
+            if publish is not None:
+                publish(registry)
+            latency = registry.histogram(
+                "sim_steal_latency_cycles",
+                "cycles an idle slot waited from first failed steal "
+                "attempt to a successful steal",
+            )
+            for value in self.steal_latencies:
+                latency.observe(value)
+
+    def _emit_window(self, window: TimelineWindow) -> None:
+        end = float(window.end_cycle)
+        tracer = self.tracer
+        tracer.counter(
+            "hit_ratio",
+            CATEGORY_MEMORY,
+            end,
+            PID_TIMELINE,
+            {
+                "vertex": round(window.vertex_hit_ratio, 4),
+                "edge": round(window.edge_hit_ratio, 4),
+            },
+        )
+        tracer.counter(
+            "dram_accesses",
+            CATEGORY_MEMORY,
+            end,
+            PID_TIMELINE,
+            {"dram": float(window.dram_accesses)},
+        )
+        tracer.counter(
+            "active_slots",
+            CATEGORY_PU,
+            end,
+            PID_TIMELINE,
+            {"busy": float(window.active_slots)},
+        )
+
+    # -- per-event hooks ----------------------------------------------------
+
+    def root_dispatched(self, p: int, s: int, root: int, ts: int) -> None:
+        """An initial embedding arrived from the Arbitrator."""
+        self.tracer.instant(
+            "root",
+            CATEGORY_PU,
+            float(ts),
+            SIM_PID_BASE + p,
+            s,
+            vertex=root,
+        )
+
+    def step_started(self, p: int, s: int, ts: int, depth: int) -> None:
+        """One extension step (propose/check or traceback) began."""
+        self._step[(p, s)] = (ts, depth)
+
+    def step_finished(self, p: int, s: int, ts: int) -> None:
+        """The step's last recorded operation retired."""
+        started = self._step.pop((p, s), None)
+        if started is None:
+            return
+        start, depth = started
+        self.tracer.complete(
+            "extend",
+            CATEGORY_PU,
+            float(start),
+            float(ts - start),
+            SIM_PID_BASE + p,
+            s,
+            depth=depth,
+        )
+
+    def dram_fetch(
+        self,
+        p: int,
+        s: int,
+        kind: int,
+        address: int,
+        ts: int,
+        dur: int,
+        channel: int,
+    ) -> None:
+        """A request missed on-chip and went to DRAM."""
+        self.tracer.complete(
+            "dram",
+            CATEGORY_MEMORY,
+            float(ts),
+            float(dur),
+            SIM_PID_BASE + p,
+            s,
+            side=_KIND_NAMES[kind],
+            address=address,
+            channel=channel,
+        )
+
+    def steal_attempted(self, p: int, s: int, ts: int) -> None:
+        """An idle slot probed for work (may repeat every retry period)."""
+        key = (p, s)
+        spell = self._steal_wait.get(key)
+        if spell is None:
+            self._steal_wait[key] = (ts, 1)
+            self.tracer.instant(
+                "steal_wait_start",
+                CATEGORY_STEAL,
+                float(ts),
+                SIM_PID_BASE + p,
+                s,
+            )
+        else:
+            self._steal_wait[key] = (spell[0], spell[1] + 1)
+
+    def steal_succeeded(self, p: int, s: int, ts: int) -> None:
+        """A probe found splittable work; close the wait spell as a span."""
+        key = (p, s)
+        first, attempts = self._steal_wait.pop(key, (ts, 1))
+        self.steal_latencies.append(ts - first)
+        self.tracer.complete(
+            "steal_wait",
+            CATEGORY_STEAL,
+            float(first),
+            float(ts - first),
+            SIM_PID_BASE + p,
+            s,
+            attempts=attempts,
+        )

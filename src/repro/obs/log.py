@@ -1,0 +1,66 @@
+"""The observability logger — the sanctioned output channel for library code.
+
+``gramer check`` rule GRM601 bans bare ``print()`` in library code so that
+every diagnostic line flows through one configurable sink.  Two channels:
+
+* :func:`get_logger` — namespaced stdlib loggers under the ``gramer`` root.
+  The root handler is attached lazily on first use and writes to *stderr*,
+  so diagnostics never contaminate machine-readable stdout (tables, JSON).
+  The level comes from the ``GRAMER_LOG`` environment variable (``debug``,
+  ``info``, ``warning``, ...; default ``info``) — per-job executor lifecycle
+  lines sit at ``debug`` so they are opt-in.
+* :func:`console` — deliberate user-facing *stdout* output for CLI
+  surfaces (reports, tables).  Using it instead of ``print`` marks the
+  emission as intentional primary output, which is exactly the
+  intentionality GRM601 enforces.
+
+This module is a leaf: it imports nothing from the rest of ``repro``, so
+any layer (simulator, runtime, experiments) may log through it.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = ["console", "get_logger"]
+
+_ROOT_NAME = "gramer"
+_ENV_LEVEL = "GRAMER_LOG"
+
+
+def _configure_root(root: logging.Logger) -> None:
+    """Attach the default stderr handler once, level from ``GRAMER_LOG``."""
+    # gramer: ignore[GRM201] -- process-startup config: the log level shapes
+    # diagnostic verbosity only, never any modeled or cached value.
+    requested = os.environ.get(_ENV_LEVEL, "").strip().upper()
+    level = getattr(logging, requested, logging.INFO)
+    if not isinstance(level, int):
+        level = logging.INFO
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+    root.addHandler(handler)
+    root.setLevel(level)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``gramer`` root (``gramer.<name>``).
+
+    The first call configures the root handler; subsequent calls are a
+    plain ``logging.getLogger`` lookup.
+    """
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        _configure_root(root)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}") if name else root
+
+
+def console(message: str) -> None:
+    """Write deliberate user-facing output to stdout (flushed).
+
+    The one sanctioned home of ``print`` outside CLI modules — routing
+    through it keeps GRM601 meaningful: library code states explicitly
+    when a line is primary output rather than a stray debug print.
+    """
+    print(message, flush=True)

@@ -1,0 +1,230 @@
+"""Text profile report — what the numbers say, in one terminal page.
+
+Renders the ``gramer profile`` output: run summary, stall attribution
+(where cycles actually went), cache-set pressure (which low-priority sets
+thrash), steal-wait latency percentiles, the windowed hit-ratio timeline,
+and a per-job wall/cycle breakdown for sweep-style invocations.
+
+Everything is duck-typed through small ``Protocol``\\ s so this module
+imports nothing from ``repro.accel`` or ``repro.runtime`` — ``obs``
+stays a leaf package any layer can use.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol, Sequence
+
+from .metrics import percentile
+from .timeline import TimelineWindow
+
+__all__ = ["render_profile"]
+
+_MAX_TIMELINE_ROWS = 24
+
+
+class _StatsLike(Protocol):
+    cycles: int
+    compute_cycles: int
+    vertex_wait_cycles: int
+    edge_wait_cycles: int
+    steals: int
+    steal_attempts: int
+    roots_dispatched: int
+
+    @property
+    def vertex_accesses(self) -> int: ...
+    @property
+    def edge_accesses(self) -> int: ...
+    @property
+    def vertex_hit_ratio(self) -> float: ...
+    @property
+    def edge_hit_ratio(self) -> float: ...
+    @property
+    def dram_accesses(self) -> int: ...
+    @property
+    def load_imbalance(self) -> float: ...
+
+
+class _InstrumentLike(Protocol):
+    steal_latencies: list[int]
+
+    @property
+    def sampler(self) -> "_SamplerLike": ...
+
+
+class _SamplerLike(Protocol):
+    windows: list[TimelineWindow]
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Right-aligned fixed-width table (numbers dominate every column)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _section(title: str, body: str) -> str:
+    return f"== {title} ==\n{body}"
+
+
+def _summary_section(stats: _StatsLike) -> str:
+    rows = [
+        ("cycles", f"{stats.cycles:,}"),
+        ("roots dispatched", f"{stats.roots_dispatched:,}"),
+        ("vertex accesses", f"{stats.vertex_accesses:,}"),
+        ("vertex hit ratio", f"{stats.vertex_hit_ratio:.4f}"),
+        ("edge accesses", f"{stats.edge_accesses:,}"),
+        ("edge hit ratio", f"{stats.edge_hit_ratio:.4f}"),
+        ("dram accesses", f"{stats.dram_accesses:,}"),
+        ("steals / attempts", f"{stats.steals:,} / {stats.steal_attempts:,}"),
+        ("load imbalance", f"{stats.load_imbalance:.3f}"),
+    ]
+    width = max(len(label) for label, _ in rows)
+    return "\n".join(f"{label.ljust(width)}  {value}" for label, value in rows)
+
+
+def _stall_section(stats: _StatsLike) -> str:
+    sources = sorted(
+        (
+            ("edge wait", stats.edge_wait_cycles),
+            ("vertex wait", stats.vertex_wait_cycles),
+            ("compute", stats.compute_cycles),
+        ),
+        key=lambda pair: -pair[1],
+    )
+    total = sum(cycles for _, cycles in sources)
+    rows = [
+        (
+            name,
+            f"{cycles:,}",
+            f"{cycles / total * 100:.1f}%" if total else "-",
+        )
+        for name, cycles in sources
+    ]
+    return _table(("source", "slot-cycles", "share"), rows)
+
+
+def _pressure_section(
+    pressure: Mapping[str, Mapping[str, object]],
+) -> str:
+    rows = []
+    for name in sorted(pressure):
+        info = pressure[name]
+        hot = ", ".join(
+            f"#{idx}:{count}"
+            for idx, count in info.get("hot_sets", [])  # type: ignore[union-attr]
+        )
+        rows.append(
+            (
+                name,
+                info.get("sets", 0),
+                info.get("evictions", 0),
+                info.get("max", 0),
+                f"{info.get('mean', 0.0):.2f}",
+                hot or "-",
+            )
+        )
+    return _table(
+        ("cache", "sets", "evictions", "max/set", "mean/set", "hottest sets"),
+        rows,
+    )
+
+
+def _steal_section(latencies: Sequence[int]) -> str:
+    if not latencies:
+        return "no completed steal waits"
+    values = [float(v) for v in latencies]
+    rows = [
+        (
+            len(values),
+            f"{percentile(values, 50):.0f}",
+            f"{percentile(values, 90):.0f}",
+            f"{percentile(values, 99):.0f}",
+            f"{max(values):.0f}",
+        )
+    ]
+    return _table(("waits", "p50", "p90", "p99", "max"), rows)
+
+
+def _timeline_section(windows: Sequence[TimelineWindow]) -> str:
+    if not windows:
+        return "no closed windows (run shorter than one window)"
+    shown = list(windows)
+    elided = 0
+    if len(shown) > _MAX_TIMELINE_ROWS:
+        half = _MAX_TIMELINE_ROWS // 2
+        elided = len(shown) - 2 * half
+        shown = shown[:half] + shown[-half:]
+    rows: list[tuple[object, ...]] = []
+    for i, w in enumerate(shown):
+        if elided and i == len(shown) // 2:
+            rows.append((f"... {elided} windows elided ...", "", "", "", "", ""))
+        rows.append(
+            (
+                f"[{w.start_cycle:,}, {w.end_cycle:,})",
+                f"{w.vertex_hit_ratio:.3f}",
+                f"{w.edge_hit_ratio:.3f}",
+                w.dram_accesses,
+                w.steals,
+                w.active_slots,
+            )
+        )
+    return _table(
+        ("window", "v-hit", "e-hit", "dram", "steals", "slots"), rows
+    )
+
+
+def _jobs_section(jobs: Sequence[Mapping[str, object]]) -> str:
+    ordered = sorted(
+        jobs,
+        key=lambda job: -float(job.get("wall_seconds", 0.0))  # type: ignore[arg-type]
+    )
+    rows = []
+    for job in ordered:
+        cycles = job.get("cycles")
+        rows.append(
+            (
+                job.get("name", "?"),
+                job.get("backend", "?"),
+                f"{float(job.get('wall_seconds', 0.0)):.3f}s",  # type: ignore[arg-type]
+                f"{cycles:,}" if isinstance(cycles, int) else "-",
+                "hit" if job.get("cached") else "miss",
+            )
+        )
+    return _table(("job", "backend", "wall", "cycles", "cache"), rows)
+
+
+def render_profile(
+    stats: _StatsLike,
+    instrument: _InstrumentLike | None = None,
+    pressure: Mapping[str, Mapping[str, object]] | None = None,
+    jobs: Sequence[Mapping[str, object]] | None = None,
+) -> str:
+    """Assemble the full text profile from whichever inputs are present."""
+    sections = [
+        _section("run summary", _summary_section(stats)),
+        _section("stall attribution", _stall_section(stats)),
+    ]
+    if pressure:
+        sections.append(_section("cache-set pressure", _pressure_section(pressure)))
+    if instrument is not None:
+        sections.append(
+            _section("steal-wait latency", _steal_section(instrument.steal_latencies))
+        )
+        sections.append(
+            _section("timeline", _timeline_section(instrument.sampler.windows))
+        )
+    if jobs:
+        sections.append(_section("jobs (slowest first)", _jobs_section(jobs)))
+    return "\n\n".join(sections)

@@ -1,0 +1,296 @@
+"""Event tracer — structured spans and instants, JSONL and Chrome-trace out.
+
+The second pillar of the observability subsystem.  Producers (the
+simulator instrument, the executor, the timeline sampler) emit
+:class:`TraceEvent` records through a :class:`Tracer`; the tracer buffers
+them and serializes on demand to
+
+* **JSONL** — one JSON object per line, schema-validated by
+  :func:`validate_event`, for ad-hoc analysis with ``jq``/pandas; and
+* **Chrome trace format** — the ``{"traceEvents": [...]}`` JSON that
+  ``chrome://tracing`` and https://ui.perfetto.dev load directly.
+
+Timestamps are microseconds in the Chrome format.  Simulator producers
+use *cycles* as the time base and render one cycle as one microsecond —
+absolute wall time is meaningless inside a cycle-level model, while the
+relative shape (which PU stalls when, how long a steal waits) is exactly
+what the viewer should show.  Executor events use real wall-clock
+microseconds; the two domains are kept apart by process id:
+
+====================  ===========================================
+pid                   track
+====================  ===========================================
+``PID_EXECUTOR`` (1)  executor job lifecycle (wall time)
+``PID_TIMELINE`` (2)  windowed counters (sim cycles)
+``SIM_PID_BASE+p``    processing unit ``p`` (sim cycles), one
+                      thread per slot
+====================  ===========================================
+
+:class:`NullTracer` is the disabled fast path: every emit method is a
+no-op and ``enabled`` is ``False``, so hot-loop call sites can skip even
+argument construction.  A disabled run executes the exact instruction
+stream of an uninstrumented one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+__all__ = [
+    "CATEGORY_EXECUTOR",
+    "CATEGORY_MEMORY",
+    "CATEGORY_PU",
+    "CATEGORY_STEAL",
+    "NullTracer",
+    "PID_EXECUTOR",
+    "PID_TIMELINE",
+    "SIM_PID_BASE",
+    "TraceEvent",
+    "Tracer",
+    "validate_event",
+]
+
+CATEGORY_PU = "pu"
+CATEGORY_MEMORY = "memory"
+CATEGORY_STEAL = "steal"
+CATEGORY_EXECUTOR = "executor"
+
+PID_EXECUTOR = 1
+PID_TIMELINE = 2
+SIM_PID_BASE = 10
+
+_PHASES = frozenset({"X", "i", "C", "M"})
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One Chrome-trace event.
+
+    ``ph`` is the phase code: ``"X"`` complete span (has ``dur``),
+    ``"i"`` instant, ``"C"`` counter, ``"M"`` metadata.
+    """
+
+    name: str
+    category: str
+    ph: str
+    ts_us: float
+    pid: int
+    tid: int
+    dur_us: float = 0.0
+    args: Mapping[str, object] = field(default_factory=dict)
+
+    def as_chrome(self) -> dict[str, object]:
+        record: dict[str, object] = {
+            "name": self.name,
+            "cat": self.category,
+            "ph": self.ph,
+            "ts": self.ts_us,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.ph == "X":
+            record["dur"] = self.dur_us
+        if self.ph == "i":
+            record["s"] = "t"  # instant scoped to its thread track
+        if self.args:
+            record["args"] = dict(self.args)
+        return record
+
+
+def validate_event(record: Mapping[str, object]) -> list[str]:
+    """Schema-check one serialized event; return problems (empty = valid)."""
+    problems: list[str] = []
+    for key, kinds in (
+        ("name", (str,)),
+        ("cat", (str,)),
+        ("ph", (str,)),
+        ("ts", (int, float)),
+        ("pid", (int,)),
+        ("tid", (int,)),
+    ):
+        if key not in record:
+            problems.append(f"missing required key {key!r}")
+        elif not isinstance(record[key], kinds) or isinstance(
+            record[key], bool
+        ):
+            problems.append(
+                f"key {key!r} has type {type(record[key]).__name__}"
+            )
+    phase = record.get("ph")
+    if isinstance(phase, str) and phase not in _PHASES:
+        problems.append(f"unknown phase {phase!r}")
+    if phase == "X":
+        duration = record.get("dur")
+        if not isinstance(duration, (int, float)) or isinstance(
+            duration, bool
+        ):
+            problems.append("complete event ('X') requires numeric 'dur'")
+        elif duration < 0:
+            problems.append(f"negative duration {duration}")
+    ts = record.get("ts")
+    if isinstance(ts, (int, float)) and not isinstance(ts, bool) and ts < 0:
+        problems.append(f"negative timestamp {ts}")
+    args = record.get("args")
+    if args is not None and not isinstance(args, Mapping):
+        problems.append("'args' must be an object")
+    return problems
+
+
+class Tracer:
+    """Buffering trace sink with Chrome-trace and JSONL serialization."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return list(self._events)
+
+    def emit(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    def complete(
+        self,
+        name: str,
+        category: str,
+        ts_us: float,
+        dur_us: float,
+        pid: int,
+        tid: int,
+        **args: object,
+    ) -> None:
+        """Emit a span ('X'): something with a start and a duration."""
+        self.emit(
+            TraceEvent(name, category, "X", ts_us, pid, tid, dur_us, args)
+        )
+
+    def instant(
+        self,
+        name: str,
+        category: str,
+        ts_us: float,
+        pid: int,
+        tid: int,
+        **args: object,
+    ) -> None:
+        """Emit an instant ('i'): a point event with no duration."""
+        self.emit(TraceEvent(name, category, "i", ts_us, pid, tid, 0.0, args))
+
+    def counter(
+        self,
+        name: str,
+        category: str,
+        ts_us: float,
+        pid: int,
+        values: Mapping[str, float],
+    ) -> None:
+        """Emit a counter ('C') sample — renders as a stacked area track."""
+        self.emit(
+            TraceEvent(name, category, "C", ts_us, pid, 0, 0.0, dict(values))
+        )
+
+    def metadata(self, pid: int, tid: int, key: str, value: str) -> None:
+        """Emit process/thread naming metadata ('M') for the viewer."""
+        self.emit(
+            TraceEvent(key, "__metadata", "M", 0.0, pid, tid, 0.0,
+                       {"name": value})
+        )
+
+    def categories(self) -> set[str]:
+        """Distinct non-metadata categories emitted so far."""
+        return {e.category for e in self._events if e.ph != "M"}
+
+    def chrome_payload(self) -> dict[str, object]:
+        """The ``{"traceEvents": ...}`` object, events sorted by timestamp.
+
+        Metadata events sort first (ts 0); the rest are ordered by
+        ``ts`` then emission order, which keeps ``ts`` monotone
+        non-decreasing across the file — the property the trace tests
+        assert and some stream-parsing viewers rely on.
+        """
+        indexed = sorted(
+            enumerate(self._events),
+            key=lambda pair: (pair[1].ph != "M", pair[1].ts_us, pair[0]),
+        )
+        return {
+            "traceEvents": [event.as_chrome() for _, event in indexed],
+            "displayTimeUnit": "ms",
+        }
+
+    def write_chrome(self, path: str | Path) -> Path:
+        """Serialize the Chrome-trace JSON to ``path`` (parents created)."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.chrome_payload(), separators=(",", ":"))
+        )
+        return target
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Serialize one event per line, in emission order, to ``path``."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        lines = [
+            json.dumps(event.as_chrome(), separators=(",", ":"))
+            for event in self._events
+        ]
+        target.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return target
+
+
+class NullTracer(Tracer):
+    """Disabled sink: accepts nothing, costs nothing.
+
+    ``enabled`` is ``False`` so hot paths can skip argument construction
+    entirely (``if tracer.enabled: tracer.complete(...)``); even when
+    called, every emit method discards its input.
+    """
+
+    enabled = False
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+    def complete(
+        self,
+        name: str,
+        category: str,
+        ts_us: float,
+        dur_us: float,
+        pid: int,
+        tid: int,
+        **args: object,
+    ) -> None:
+        pass
+
+    def instant(
+        self,
+        name: str,
+        category: str,
+        ts_us: float,
+        pid: int,
+        tid: int,
+        **args: object,
+    ) -> None:
+        pass
+
+    def counter(
+        self,
+        name: str,
+        category: str,
+        ts_us: float,
+        pid: int,
+        values: Mapping[str, float],
+    ) -> None:
+        pass
+
+    def metadata(self, pid: int, tid: int, key: str, value: str) -> None:
+        pass

@@ -23,7 +23,7 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import dataclass, replace
-from typing import Any, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -43,6 +43,9 @@ from repro.mining.engine import run_dfs
 
 from .cache import default_cache
 from .spec import JobResult, JobSpec
+
+if TYPE_CHECKING:
+    from repro.obs.hooks import SimInstrument
 
 __all__ = [
     "Backend",
@@ -170,6 +173,22 @@ class GramerBackend:
     system = "GRAMER"
 
     def run(self, spec: JobSpec) -> JobResult:
+        return self._execute(spec, None)
+
+    def run_instrumented(
+        self, spec: JobSpec, instrument: "SimInstrument"
+    ) -> JobResult:
+        """Run with observability hooks attached to the simulator.
+
+        Hooks are purely observational, so the returned ``JobResult`` is
+        identical (bar wall time) to an uninstrumented run — asserted by
+        the zero-perturbation tests.
+        """
+        return self._execute(spec, instrument)
+
+    def _execute(
+        self, spec: JobSpec, instrument: "SimInstrument | None"
+    ) -> JobResult:
         params = spec.params_dict()
         app = _make_app_for(spec)
         graph = resolve_graph(spec, app.needs_labels)
@@ -191,6 +210,7 @@ class GramerBackend:
             cfg,
             vertex_rank=vertex_rank,
             use_on1_ranks=params.get("use_on1_ranks", True),
+            instrument=instrument,
         ).run(app)
         wall = time.perf_counter() - start
         energy = gramer_energy(result.stats, cfg, energy_params)

@@ -31,6 +31,10 @@ from concurrent import futures as _futures
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.obs.hooks import SimInstrument
+from repro.obs.log import get_logger
+from repro.obs.tracer import CATEGORY_EXECUTOR, PID_EXECUTOR, Tracer
+
 from .backends import get_backend
 from .cache import ArtifactCache, default_cache
 from .spec import JobResult, JobSpec, failed_result
@@ -41,6 +45,8 @@ _ENV_JOBS = "GRAMER_JOBS"
 _JOB_KIND = "job"
 
 ProgressFn = Callable[[JobResult, int, int], None]
+
+_log = get_logger("runtime.executor")
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -62,29 +68,47 @@ def run_spec(
     spec: JobSpec,
     use_cache: bool = True,
     cache: ArtifactCache | None = None,
+    instrument: SimInstrument | None = None,
 ) -> JobResult:
     """Execute one spec: cache lookup → backend run → cache store.
 
     Never raises for job-level errors; they come back as a failed
     :class:`JobResult`.
+
+    With ``instrument`` the cache is bypassed entirely — a trace only
+    exists if the simulator actually runs — and backends exposing
+    ``run_instrumented`` receive the hooks (others run normally).
     """
     cache = cache if cache is not None else default_cache()
     key = spec.cache_key()
-    if use_cache:
+    if use_cache and instrument is None:
         hit, value = cache.lookup(_JOB_KIND, key)
         if hit and isinstance(value, JobResult):
+            _log.debug("cache hit %s", spec.label())
             return value.as_cached()
+    _log.debug("start %s", spec.label())
     start = time.perf_counter()
     try:
         backend = get_backend(spec.backend)
-        result = backend.run(spec)
+        instrumented_run = (
+            getattr(backend, "run_instrumented", None)
+            if instrument is not None
+            else None
+        )
+        if instrumented_run is not None:
+            result = instrumented_run(spec, instrument)
+        else:
+            result = backend.run(spec)
     except Exception as exc:  # noqa: BLE001 - failure isolation by design
-        return failed_result(spec, exc, wall_seconds=time.perf_counter() - start)
+        wall = time.perf_counter() - start
+        _log.warning("failed %s after %.3fs: %s", spec.label(), wall, exc)
+        return failed_result(spec, exc, wall_seconds=wall)
     from dataclasses import replace
 
     result = replace(result, cache_key=cache.digest(key))
-    if use_cache and result.ok:
+    if use_cache and instrument is None and result.ok:
         cache.store(_JOB_KIND, key, result)
+    _log.debug("finish %s in %.3fs", spec.label(), result.wall_seconds)
     return result
 
 
@@ -109,31 +133,84 @@ class Executor:
         timeout_s: float | None = None,
         use_cache: bool = True,
         cache: ArtifactCache | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.timeout_s = timeout_s
         self.use_cache = use_cache
         self.cache = cache if cache is not None else default_cache()
+        self.tracer = tracer
+
+    def _trace_result(self, result: JobResult) -> None:
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        now_us = time.perf_counter() * 1e6
+        args: dict[str, object] = {
+            "backend": result.spec.backend,
+            "app": result.spec.app,
+            "graph": result.spec.graph_name,
+            "ok": result.ok,
+            "cached": result.cached,
+        }
+        if result.error is not None:
+            args["error"] = result.error
+        if result.cached:
+            tracer.instant(
+                f"job {result.spec.label()}",
+                CATEGORY_EXECUTOR,
+                now_us,
+                PID_EXECUTOR,
+                0,
+                **args,
+            )
+        else:
+            dur_us = result.wall_seconds * 1e6
+            tracer.complete(
+                f"job {result.spec.label()}",
+                CATEGORY_EXECUTOR,
+                max(now_us - dur_us, 0.0),
+                dur_us,
+                PID_EXECUTOR,
+                0,
+                **args,
+            )
 
     def run(
         self,
         specs: Sequence[JobSpec],
         progress: ProgressFn | None = None,
+        instrument: SimInstrument | None = None,
     ) -> list[JobResult]:
-        """Execute every spec; result ``i`` always corresponds to spec ``i``."""
+        """Execute every spec; result ``i`` always corresponds to spec ``i``.
+
+        With ``instrument``, every spec runs inline (hooks hold live
+        object references and cannot cross process boundaries) and the
+        cache is bypassed so each job actually simulates.
+        """
         total = len(specs)
         results: list[JobResult | None] = [None] * total
 
         def note(result: JobResult, index: int) -> None:
             results[index] = result
+            self._trace_result(result)
             if progress is not None:
                 progress(result, index, total)
+
+        if instrument is not None:
+            for index, spec in enumerate(specs):
+                note(
+                    run_spec(spec, False, self.cache, instrument=instrument),
+                    index,
+                )
+            return [r for r in results if r is not None]
 
         pending: list[int] = []
         for index, spec in enumerate(specs):
             if self.use_cache:
                 hit, value = self.cache.lookup(_JOB_KIND, spec.cache_key())
                 if hit and isinstance(value, JobResult):
+                    _log.debug("cache hit %s", spec.label())
                     note(value.as_cached(), index)
                     continue
             pending.append(index)

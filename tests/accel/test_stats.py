@@ -1,0 +1,97 @@
+"""SimStats aggregation helpers: as_dict, merge, registry publication."""
+
+import pytest
+
+from repro.accel.stats import SimStats
+from repro.obs.metrics import MetricsRegistry
+
+
+def _sample(scale=1):
+    return SimStats(
+        cycles=100 * scale,
+        roots_dispatched=4 * scale,
+        steals=2 * scale,
+        steal_attempts=5 * scale,
+        vertex_high_hits=10 * scale,
+        vertex_low_hits=5 * scale,
+        vertex_misses=1 * scale,
+        edge_high_hits=20 * scale,
+        edge_low_hits=8 * scale,
+        edge_misses=2 * scale,
+        compute_cycles=60 * scale,
+        vertex_wait_cycles=15 * scale,
+        edge_wait_cycles=25 * scale,
+        pu_finish_cycles=[90 * scale, 100 * scale],
+        pu_busy_cycles=[50 * scale, 70 * scale],
+    )
+
+
+class TestAsDict:
+    def test_covers_every_field(self):
+        stats = _sample()
+        dump = stats.as_dict()
+        assert dump["cycles"] == 100
+        assert dump["pu_busy_cycles"] == [50, 70]
+        assert set(dump) == {
+            f for f in stats.__dataclass_fields__
+        }
+
+    def test_lists_are_copies(self):
+        stats = _sample()
+        dump = stats.as_dict()
+        dump["pu_busy_cycles"].append(999)
+        assert stats.pu_busy_cycles == [50, 70]
+
+
+class TestMerge:
+    def test_empty_merge_is_zero_stats(self):
+        merged = SimStats.merge([])
+        assert merged == SimStats()
+
+    def test_single_run_merge_is_identity(self):
+        stats = _sample()
+        merged = SimStats.merge([stats])
+        assert merged == stats
+        assert merged is not stats
+
+    def test_multi_run_scalars_sum_and_lists_add_elementwise(self):
+        merged = SimStats.merge([_sample(), _sample(2)])
+        assert merged.cycles == 300
+        assert merged.steals == 6
+        assert merged.edge_high_hits == 60
+        assert merged.pu_busy_cycles == [150, 210]
+
+    def test_mismatched_pu_counts_pad_with_zeros(self):
+        narrow = SimStats(pu_busy_cycles=[10])
+        wide = SimStats(pu_busy_cycles=[1, 2, 3])
+        merged = SimStats.merge([narrow, wide])
+        assert merged.pu_busy_cycles == [11, 2, 3]
+
+    def test_merge_does_not_mutate_inputs(self):
+        a, b = _sample(), _sample()
+        SimStats.merge([a, b])
+        assert a == _sample() and b == _sample()
+
+    def test_derived_ratios_recompute_on_merge(self):
+        merged = SimStats.merge([_sample(), _sample()])
+        assert merged.vertex_hit_ratio == pytest.approx(15 / 16)
+        assert merged.dram_accesses == 6
+
+
+class TestPublish:
+    def test_published_counters_match_stats(self):
+        registry = MetricsRegistry()
+        stats = _sample()
+        stats.publish(registry)
+        accesses = registry.get("sim_accesses_total")
+        assert accesses.value(side="vertex", level="high") == 10
+        assert accesses.total() == stats.vertex_accesses + stats.edge_accesses
+        steals = registry.get("sim_steal_events_total")
+        assert steals.value(outcome="hit") == 2
+        assert steals.value(outcome="miss") == 3
+        assert registry.get("sim_hit_ratio").value(side="edge") == (
+            pytest.approx(stats.edge_hit_ratio)
+        )
+        assert registry.get("sim_load_imbalance").value() == (
+            pytest.approx(stats.load_imbalance)
+        )

@@ -1,0 +1,18 @@
+"""Fixture: observability violations (GRM6xx)."""
+
+
+def report_progress(done: int, total: int) -> None:
+    print(f"progress {done}/{total}")  # GRM601: bare print in library code
+
+
+def debug_dump(values: list[int]) -> None:
+    for value in values:
+        print(value)  # GRM601
+
+
+def main() -> str:
+    return "summary"
+
+
+if __name__ == "__main__":
+    print(main())  # exempt: script entry point under the __main__ guard

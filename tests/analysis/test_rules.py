@@ -16,6 +16,7 @@ CORPUS = {
     "bad_immutability.py": {"GRM301", "GRM302"},
     "bad_units.py": {"GRM401", "GRM402"},
     "bad_crossproc.py": {"GRM501"},
+    "bad_observability.py": {"GRM601"},
 }
 
 
@@ -68,6 +69,15 @@ class TestAllowedIdioms:
         flagged = {f.line for f in check_paths([FIXTURES / "bad_units.py"])}
         assert not flagged & set(allowed)
 
+    def test_main_guard_print_allowed(self):
+        source = (FIXTURES / "bad_observability.py").read_text()
+        lineno = next(
+            i
+            for i, line in enumerate(source.splitlines(), start=1)
+            if "print(main())" in line
+        )
+        assert lineno not in self._lines("bad_observability.py", "GRM601")
+
     def test_scalar_submission_allowed(self):
         source = (FIXTURES / "bad_crossproc.py").read_text()
         lineno = next(
@@ -113,3 +123,20 @@ class TestRuleEdgeCases:
     def test_non_pool_submit_receiver_allowed(self):
         source = "def f(form, graph):\n    return form.submit(graph)\n"
         assert check_source(source, "s.py") == []
+
+    def test_bare_print_flagged_in_library_module(self):
+        findings = check_source(
+            "print('x')\n",
+            "src/repro/foo.py",
+            relpath="src/repro/foo.py",
+        )
+        assert [f.rule_id for f in findings] == ["GRM601"]
+
+    def test_print_allowed_on_sanctioned_output_surfaces(self):
+        for relpath in (
+            "src/repro/cli.py",
+            "src/repro/experiments/report.py",
+            "src/repro/obs/log.py",
+        ):
+            findings = check_source("print('x')\n", relpath, relpath=relpath)
+            assert findings == [], relpath

@@ -1,0 +1,105 @@
+"""The metrics registry: counters, gauges, histograms, labels."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, percentile
+
+
+class TestCounter:
+    def test_labeled_series_accumulate_independently(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("accesses")
+        counter.inc(3, side="vertex")
+        counter.inc(2, side="edge")
+        counter.inc(1, side="vertex")
+        assert counter.value(side="vertex") == 4
+        assert counter.value(side="edge") == 2
+        assert counter.total() == 6
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(1, a=1, b=2)
+        counter.inc(1, b=2, a=1)
+        assert counter.value(a=1, b=2) == 2
+
+    def test_unlabeled_series(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc()
+        counter.inc()
+        assert counter.value() == 2
+
+    def test_decrease_rejected(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+
+class TestGaugeAndHistogram:
+    def test_gauge_overwrites(self):
+        gauge = MetricsRegistry().gauge("ratio")
+        gauge.set(0.5, side="vertex")
+        gauge.set(0.7, side="vertex")
+        assert gauge.value(side="vertex") == 0.7
+
+    def test_histogram_summary(self):
+        histogram = MetricsRegistry().histogram("latency")
+        for value in [1, 2, 3, 4, 100]:
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 5
+        assert summary["min"] == 1
+        assert summary["max"] == 100
+        assert summary["p50"] == 3
+
+    def test_empty_histogram_summary_is_zeros(self):
+        summary = MetricsRegistry().histogram("h").summary()
+        assert summary["count"] == 0 and summary["p99"] == 0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+    def test_render_text_is_deterministic_and_sorted(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("zeta").inc(1, b="2", a="1")
+            registry.gauge("alpha").set(0.25)
+            registry.histogram("mid").observe(7)
+            return registry.render_text()
+
+        text = build()
+        assert text == build()
+        assert text.index("alpha") < text.index("mid") < text.index("zeta")
+        assert 'a="1",b="2"' in text
+
+    def test_as_dict_round_trips_through_json(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c", "help text").inc(2, side="edge")
+        payload = json.loads(json.dumps(registry.as_dict()))
+        assert payload["c"]["kind"] == "counter"
+        assert payload["c"]["series"]['{side="edge"}'] == 2
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 99) == 99
+        assert percentile(values, 100) == 100
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)

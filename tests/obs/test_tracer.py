@@ -1,0 +1,129 @@
+"""The event tracer: emission, schema validation, serialization."""
+
+import json
+
+from repro.obs.tracer import (
+    CATEGORY_EXECUTOR,
+    CATEGORY_MEMORY,
+    CATEGORY_PU,
+    NullTracer,
+    PID_EXECUTOR,
+    PID_TIMELINE,
+    Tracer,
+    validate_event,
+)
+
+
+def _populated_tracer():
+    tracer = Tracer()
+    tracer.metadata(PID_EXECUTOR, 0, "process_name", "executor")
+    tracer.complete("extend", CATEGORY_PU, ts_us=50.0, dur_us=4.0, pid=10,
+                    tid=1, depth=2)
+    tracer.instant("root", CATEGORY_PU, ts_us=10.0, pid=10, tid=0, vertex=7)
+    tracer.counter("hit_ratio", CATEGORY_MEMORY, 1024.0, PID_TIMELINE,
+                   {"vertex": 0.9, "edge": 0.5})
+    tracer.complete("job a", CATEGORY_EXECUTOR, ts_us=0.0, dur_us=100.0,
+                    pid=PID_EXECUTOR, tid=0)
+    return tracer
+
+
+class TestTracer:
+    def test_len_and_categories(self):
+        tracer = _populated_tracer()
+        assert len(tracer) == 5
+        # metadata's "__metadata" pseudo-category must not leak out.
+        assert tracer.categories() == {
+            CATEGORY_PU,
+            CATEGORY_MEMORY,
+            CATEGORY_EXECUTOR,
+        }
+
+    def test_chrome_payload_ts_is_monotone_with_metadata_first(self):
+        events = _populated_tracer().chrome_payload()["traceEvents"]
+        assert events[0]["ph"] == "M"
+        timestamps = [e["ts"] for e in events]
+        assert timestamps == sorted(timestamps)
+
+    def test_phase_specific_fields(self):
+        by_phase = {
+            e["ph"]: e
+            for e in _populated_tracer().chrome_payload()["traceEvents"]
+        }
+        assert by_phase["X"]["dur"] >= 0
+        assert by_phase["i"]["s"] == "t"
+        assert "dur" not in by_phase["i"]
+        assert by_phase["C"]["args"] == {"vertex": 0.9, "edge": 0.5}
+
+    def test_every_emitted_event_passes_validation(self):
+        for event in _populated_tracer().events:
+            assert validate_event(event.as_chrome()) == []
+
+    def test_write_chrome_round_trips(self, tmp_path):
+        path = _populated_tracer().write_chrome(tmp_path / "sub" / "t.json")
+        payload = json.loads(path.read_text())
+        assert len(payload["traceEvents"]) == 5
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_write_jsonl_one_valid_record_per_line(self, tmp_path):
+        path = _populated_tracer().write_jsonl(tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 5
+        for line in lines:
+            assert validate_event(json.loads(line)) == []
+
+    def test_empty_jsonl_is_empty_file(self, tmp_path):
+        path = Tracer().write_jsonl(tmp_path / "empty.jsonl")
+        assert path.read_text() == ""
+
+
+class TestValidateEvent:
+    def _good(self):
+        return {"name": "n", "cat": "c", "ph": "i", "ts": 1.0, "pid": 1,
+                "tid": 0}
+
+    def test_good_record_is_clean(self):
+        assert validate_event(self._good()) == []
+
+    def test_missing_key(self):
+        record = self._good()
+        del record["cat"]
+        assert any("missing" in p for p in validate_event(record))
+
+    def test_bool_is_not_an_int(self):
+        record = self._good()
+        record["pid"] = True
+        assert any("pid" in p for p in validate_event(record))
+
+    def test_unknown_phase(self):
+        record = self._good()
+        record["ph"] = "Z"
+        assert any("unknown phase" in p for p in validate_event(record))
+
+    def test_complete_requires_duration(self):
+        record = self._good()
+        record["ph"] = "X"
+        assert any("dur" in p for p in validate_event(record))
+        record["dur"] = -1
+        assert any("negative duration" in p for p in validate_event(record))
+
+    def test_negative_timestamp(self):
+        record = self._good()
+        record["ts"] = -5
+        assert any("negative timestamp" in p for p in validate_event(record))
+
+    def test_args_must_be_mapping(self):
+        record = self._good()
+        record["args"] = [1, 2]
+        assert any("args" in p for p in validate_event(record))
+
+
+class TestNullTracer:
+    def test_discards_everything(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        tracer.complete("x", CATEGORY_PU, 0.0, 1.0, 1, 0)
+        tracer.instant("x", CATEGORY_PU, 0.0, 1, 0)
+        tracer.counter("x", CATEGORY_PU, 0.0, 1, {"v": 1.0})
+        tracer.metadata(1, 0, "process_name", "x")
+        assert len(tracer) == 0
+        assert tracer.categories() == set()

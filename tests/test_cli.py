@@ -92,6 +92,55 @@ class TestCLI:
         assert info.value.code == 1
         assert "1 failed" in capsys.readouterr().out
 
+    def test_simulate_with_trace(self, tmp_path, capsys):
+        trace = tmp_path / "sim-trace.json"
+        main(["simulate", "--dataset", "citeseer", "--scale", "tiny",
+              "--app", "3-CF", "--trace", str(trace)])
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "categories:" in out
+        import json
+
+        payload = json.loads(trace.read_text())
+        assert payload["traceEvents"]
+
+    def test_trace_command(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        jsonl = tmp_path / "trace.jsonl"
+        main(["trace", "3-CF", "citeseer", "--scale", "tiny",
+              "--out", str(trace), "--jsonl", str(jsonl)])
+        out = capsys.readouterr().out
+        assert "cycles" in out and "perfetto" in out.lower()
+        import json
+
+        from repro.obs import validate_event
+
+        payload = json.loads(trace.read_text())
+        categories = {
+            e["cat"] for e in payload["traceEvents"] if e["ph"] != "M"
+        }
+        assert {"pu", "memory", "steal", "executor"} <= categories
+        for line in jsonl.read_text().splitlines():
+            assert validate_event(json.loads(line)) == []
+
+    def test_trace_unknown_dataset_errors(self):
+        with pytest.raises(SystemExit, match="unknown dataset"):
+            main(["trace", "3-CF", "nope"])
+
+    def test_profile_command(self, capsys):
+        main(["profile", "--dataset", "citeseer", "--scale", "tiny",
+              "--app", "3-CF", "--metrics"])
+        out = capsys.readouterr().out
+        assert "stall attribution" in out
+        assert "cache-set pressure" in out
+        assert "timeline" in out
+        assert "sim_cycles_total" in out  # --metrics dump
+
+    def test_sweep_reports_slowest_jobs(self, capsys):
+        main(["sweep", "--apps", "3-CF", "--datasets", "citeseer",
+              "--backends", "gramer", "--scale", "tiny", "--no-cache"])
+        assert "slowest jobs" in capsys.readouterr().out
+
     def test_check_clean_file(self, tmp_path, capsys):
         target = tmp_path / "clean.py"
         target.write_text("VALUE = 3\n")
