@@ -1,0 +1,114 @@
+"""Measure the fast engine against the reference on the Table III tiny grid.
+
+Runs every (app, dataset) cell of the tiny grid once per engine, wall-clock
+timed, asserts the results stay byte-identical while timing, and writes the
+measurement record to ``benchmarks/BENCH_fastsim.json``.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_fastsim.py [--repeat N]
+
+Not a pytest-benchmark module on purpose: the unit here is the whole grid
+(what ``repro.experiments.run_all`` pays), not a single hot function.
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.accel.config import GramerConfig
+from repro.accel.sim import ENGINES, make_simulator
+from repro.experiments import datasets
+from repro.experiments.paper_data import TABLE3_APPS
+from repro.runtime.backends import build_app
+
+OUT_PATH = Path(__file__).parent / "BENCH_fastsim.json"
+
+
+def time_cell(app_name: str, graph_name: str, engine: str, repeat: int):
+    app = build_app(app_name, graph_name, "tiny")
+    loader = datasets.load_labeled if app.needs_labels else datasets.load
+    graph = loader(graph_name, "tiny")
+    best = None
+    stats_json = None
+    for _ in range(repeat):
+        cell_app = build_app(app_name, graph_name, "tiny")
+        start = time.perf_counter()
+        result = make_simulator(graph, GramerConfig(), engine=engine).run(
+            cell_app
+        )
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+        stats_json = json.dumps(result.stats.as_dict(), sort_keys=True)
+    return best, stats_json
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="timed runs per cell; best-of is recorded")
+    args = parser.parse_args()
+
+    cells = []
+    totals = dict.fromkeys(ENGINES, 0.0)
+    for app_name in TABLE3_APPS:
+        for graph_name in datasets.DATASET_ORDER:
+            row = {"app": app_name, "graph": graph_name}
+            outputs = {}
+            for engine in ENGINES:
+                wall, stats_json = time_cell(
+                    app_name, graph_name, engine, args.repeat
+                )
+                row[f"{engine}_wall_s"] = round(wall, 4)
+                totals[engine] += wall
+                outputs[engine] = stats_json
+            if outputs["fast"] != outputs["reference"]:
+                raise SystemExit(
+                    f"engines diverged on {app_name}/{graph_name} — refusing "
+                    "to record a benchmark for non-identical results"
+                )
+            row["speedup"] = round(
+                row["reference_wall_s"] / row["fast_wall_s"], 3
+            )
+            cells.append(row)
+            print(
+                f"{app_name:5s} {graph_name:9s} "
+                f"ref {row['reference_wall_s']:7.3f}s  "
+                f"fast {row['fast_wall_s']:7.3f}s  "
+                f"{row['speedup']:.2f}x"
+            )
+
+    record = {
+        "benchmark": "fastsim vs reference, Table III tiny grid",
+        "grid": {
+            "apps": list(TABLE3_APPS),
+            "datasets": list(datasets.DATASET_ORDER),
+            "scale": "tiny",
+        },
+        "repeat": args.repeat,
+        "reference_total_s": round(totals["reference"], 3),
+        "fast_total_s": round(totals["fast"], 3),
+        "speedup": round(totals["reference"] / totals["fast"], 3),
+        "results_identical": True,
+        "note": (
+            "Both engines produce byte-identical SimStats (asserted while "
+            "timing; see tests/differential/). The fast engine keeps the "
+            "reference's sequential global event order — required for "
+            "bit-identity because timing and functional phases share "
+            "contention state — so the speedup comes from removing "
+            "per-event overhead, not from vectorising the event loop. "
+            "See docs/fastsim.md for why the original 5x target is not "
+            "reachable under the bit-identity contract."
+        ),
+        "cells": cells,
+    }
+    OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(
+        f"\ntotal: ref {totals['reference']:.2f}s  fast {totals['fast']:.2f}s"
+        f"  speedup {record['speedup']:.2f}x\nwrote {OUT_PATH}"
+    )
+
+
+if __name__ == "__main__":
+    main()

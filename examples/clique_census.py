@@ -6,19 +6,21 @@ modeled runtimes and energies side by side (a miniature Table III cell).
 
 Run with::
 
-    python examples/clique_census.py
+    python examples/clique_census.py [--engine fast|reference] [--tiny]
 """
 
-from repro.accel import GramerConfig, GramerSimulator, cpu_energy, gramer_energy
+import argparse
+
+from repro.accel import GramerConfig, cpu_energy, gramer_energy, make_simulator
 from repro.baselines import FractalModel, RStreamModel
 from repro.graph import powerlaw_cluster
 from repro.mining import CliqueFinding
 
 
-def main() -> None:
+def main(engine: str = "fast", tiny: bool = False) -> None:
     graph = powerlaw_cluster(
-        num_vertices=1_500, edges_per_vertex=4, triad_probability=0.6,
-        seed=7, max_degree=45,
+        num_vertices=400 if tiny else 1_500, edges_per_vertex=4,
+        triad_probability=0.6, seed=7, max_degree=45,
     )
     config = GramerConfig(
         onchip_entries=(graph.num_vertices + len(graph.neighbors)) // 6
@@ -27,7 +29,7 @@ def main() -> None:
     print(f"{'k':>2s}  {'cliques':>10s}  {'GRAMER':>10s}  {'Fractal':>10s}  "
           f"{'RStream':>10s}  {'speedup':>14s}  {'energy save':>11s}")
     for k in (3, 4, 5):
-        sim = GramerSimulator(graph, config).run(CliqueFinding(k))
+        sim = make_simulator(graph, config, engine=engine).run(CliqueFinding(k))
         fractal = FractalModel().run(graph, CliqueFinding(k))
         rstream = RStreamModel().run(graph, CliqueFinding(k))
 
@@ -53,4 +55,10 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engine", default="fast",
+                        choices=["fast", "reference"])
+    parser.add_argument("--tiny", action="store_true",
+                        help="shrink the graph (used by the smoke tests)")
+    cli = parser.parse_args()
+    main(engine=cli.engine, tiny=cli.tiny)

@@ -7,8 +7,10 @@ search.
 
 Run with::
 
-    python examples/frequent_patterns.py
+    python examples/frequent_patterns.py [--tiny]
 """
+
+import argparse
 
 from repro.graph import powerlaw_cluster, random_labels
 from repro.mining import FrequentSubgraphMining, run_dfs
@@ -26,9 +28,10 @@ def describe(code) -> str:
     return f"{shape} [{labels}]"
 
 
-def main() -> None:
+def main(tiny: bool = False) -> None:
+    scale = 10 if tiny else 1
     graph = random_labels(
-        powerlaw_cluster(3_000, 3, 0.5, seed=11, max_degree=60),
+        powerlaw_cluster(3_000 // scale, 3, 0.5, seed=11, max_degree=60),
         num_labels=4,
         seed=5,
     )
@@ -37,7 +40,7 @@ def main() -> None:
         f"4 labels"
     )
 
-    for threshold in (50, 200, 800):
+    for threshold in (50 // scale, 200 // scale, 800 // scale):
         app = run_dfs(graph, FrequentSubgraphMining(threshold, max_vertices=3))
         frequent = app.frequent_patterns()
         print(
@@ -50,13 +53,21 @@ def main() -> None:
 
     # Anti-monotonicity in action: raising the threshold prunes the level-2
     # extension frontier, so fewer candidates are even generated.
-    low = run_dfs(graph, FrequentSubgraphMining(10, max_vertices=3))
-    high = run_dfs(graph, FrequentSubgraphMining(5_000, max_vertices=3))
+    lo, hi = max(2, 10 // scale), 5_000 // scale
+    low = run_dfs(graph, FrequentSubgraphMining(lo, max_vertices=3))
+    high = run_dfs(graph, FrequentSubgraphMining(hi, max_vertices=3))
     print(
         f"\naggregate-filter pruning: {low.candidates_checked:,} candidates "
-        f"at threshold 10 vs {high.candidates_checked:,} at threshold 5000"
+        f"at threshold {lo} vs {high.candidates_checked:,} at threshold {hi}"
     )
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engine", default="fast",
+                        choices=["fast", "reference"],
+                        help="accepted for CLI uniformity with the other "
+                        "examples; this one runs the software engine only")
+    parser.add_argument("--tiny", action="store_true",
+                        help="shrink the graph (used by the smoke tests)")
+    main(tiny=parser.parse_args().tiny)

@@ -6,23 +6,25 @@ cycles respond.  A hands-on tour of §IV and Figs. 12/14.
 
 Run with::
 
-    python examples/memory_explorer.py
+    python examples/memory_explorer.py [--engine fast|reference] [--tiny]
 """
 
-from repro.accel import GramerConfig, GramerSimulator
+import argparse
+
+from repro.accel import GramerConfig, make_simulator
 from repro.graph import powerlaw_cluster
 from repro.locality import locality_curve, IterationTrace
 from repro.mining import MotifCounting, run_dfs
 
 
-def run(graph, **config_kwargs):
+def run(graph, engine="fast", **config_kwargs):
     config = GramerConfig(**config_kwargs)
-    result = GramerSimulator(graph, config).run(MotifCounting(4))
+    result = make_simulator(graph, config, engine=engine).run(MotifCounting(4))
     return result
 
 
-def main() -> None:
-    graph = powerlaw_cluster(900, 4, 0.6, seed=3, max_degree=40)
+def main(engine: str = "fast", tiny: bool = False) -> None:
+    graph = powerlaw_cluster(250 if tiny else 900, 4, 0.6, seed=3, max_degree=40)
     data_entries = graph.num_vertices + len(graph.neighbors)
 
     # How concentrated is this workload's traffic?  (the Fig. 5 view)
@@ -40,7 +42,7 @@ def main() -> None:
     budget = data_entries // 10
     print(f"\npolicy comparison at 10% on-chip memory ({budget} entries):")
     for policy in ("uniform", "lru", "locality"):
-        r = run(graph, onchip_entries=budget, low_policy=policy)
+        r = run(graph, engine, onchip_entries=budget, low_policy=policy)
         print(
             f"  {policy:9s} vertex hit {r.stats.vertex_hit_ratio:.3f}  "
             f"edge hit {r.stats.edge_hit_ratio:.3f}  cycles {r.cycles:>11,}"
@@ -48,7 +50,7 @@ def main() -> None:
 
     print("\ntau sweep (memory sized so tau=50% holds the whole graph):")
     for tau in (0.01, 0.05, 0.20, 0.50):
-        r = run(graph, onchip_entries=2 * data_entries, tau=tau)
+        r = run(graph, engine, onchip_entries=2 * data_entries, tau=tau)
         print(
             f"  tau={tau:4.0%}  vertex hit {r.stats.vertex_hit_ratio:.3f}  "
             f"edge hit {r.stats.edge_hit_ratio:.3f}  cycles {r.cycles:>11,}"
@@ -56,7 +58,7 @@ def main() -> None:
 
     print("\ncapacity sweep (paper rule for tau):")
     for divisor in (50, 20, 10, 4, 1):
-        r = run(graph, onchip_entries=max(64, data_entries // divisor))
+        r = run(graph, engine, onchip_entries=max(64, data_entries // divisor))
         print(
             f"  {100 // divisor:3d}% of data on chip -> "
             f"DRAM accesses {r.stats.dram_accesses:>9,}  "
@@ -65,4 +67,10 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engine", default="fast",
+                        choices=["fast", "reference"])
+    parser.add_argument("--tiny", action="store_true",
+                        help="shrink the graph (used by the smoke tests)")
+    cli = parser.parse_args()
+    main(engine=cli.engine, tiny=cli.tiny)

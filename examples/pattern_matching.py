@@ -7,8 +7,10 @@ the same graph — the comparison motivating the paper's §II-B.
 
 Run with::
 
-    python examples/pattern_matching.py
+    python examples/pattern_matching.py [--tiny]
 """
+
+import argparse
 
 from repro.graph import powerlaw_cluster
 from repro.locality import StrideClassifier
@@ -24,8 +26,10 @@ TARGETS = {
 }
 
 
-def main() -> None:
-    graph = powerlaw_cluster(1_000, 4, 0.5, seed=13, max_degree=40)
+def main(tiny: bool = False) -> None:
+    graph = powerlaw_cluster(
+        300 if tiny else 1_000, 4, 0.5, seed=13, max_degree=40
+    )
     print(f"graph: {graph.num_vertices} vertices, {graph.num_edges} edges\n")
 
     # Pattern-pruned matching vs the full 4-motif census.
@@ -70,4 +74,11 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engine", default="fast",
+                        choices=["fast", "reference"],
+                        help="accepted for CLI uniformity with the other "
+                        "examples; this one runs the software engine only")
+    parser.add_argument("--tiny", action="store_true",
+                        help="shrink the graph (used by the smoke tests)")
+    main(tiny=parser.parse_args().tiny)

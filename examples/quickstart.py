@@ -6,18 +6,23 @@ GRAMER model and reports performance and memory behaviour.
 
 Run with::
 
-    python examples/quickstart.py
+    python examples/quickstart.py [--engine fast|reference] [--tiny]
 """
 
-from repro.accel import GramerConfig, GramerSimulator, gramer_energy
+import argparse
+
+from repro.accel import GramerConfig, gramer_energy, make_simulator
 from repro.graph import degree_stats, powerlaw_cluster
 from repro.mining import CliqueFinding, MotifCounting, run_dfs
 
 
-def main() -> None:
+def main(engine: str = "fast", tiny: bool = False) -> None:
     # 1. A synthetic real-world-like graph (power-law degrees, clustering).
     graph = powerlaw_cluster(
-        num_vertices=2_000, edges_per_vertex=3, triad_probability=0.4, seed=42
+        num_vertices=300 if tiny else 2_000,
+        edges_per_vertex=3,
+        triad_probability=0.4,
+        seed=42,
     )
     print("graph:", degree_stats(graph).describe())
 
@@ -35,7 +40,7 @@ def main() -> None:
     config = GramerConfig(
         onchip_entries=(graph.num_vertices + len(graph.neighbors)) // 4
     )
-    simulator = GramerSimulator(graph, config)
+    simulator = make_simulator(graph, config, engine=engine)
     result = simulator.run(MotifCounting(3))
     stats = result.stats
 
@@ -55,4 +60,10 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--engine", default="fast",
+                        choices=["fast", "reference"])
+    parser.add_argument("--tiny", action="store_true",
+                        help="shrink the graph (used by the smoke tests)")
+    cli = parser.parse_args()
+    main(engine=cli.engine, tiny=cli.tiny)

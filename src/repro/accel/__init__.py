@@ -15,7 +15,15 @@ from .resources import (
     ResourceReport,
     estimate_resources,
 )
-from .sim import AncestorBufferOverflowError, GramerSimulator, SimResult
+from .fastsim import FastGramerSimulator
+from .sim import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    AncestorBufferOverflowError,
+    GramerSimulator,
+    SimResult,
+    make_simulator,
+)
 from .stats import SimStats
 
 __all__ = [
@@ -36,6 +44,10 @@ __all__ = [
     "estimate_resources",
     "AncestorBufferOverflowError",
     "GramerSimulator",
+    "FastGramerSimulator",
+    "make_simulator",
+    "ENGINES",
+    "DEFAULT_ENGINE",
     "SimResult",
     "SimStats",
 ]

@@ -53,9 +53,87 @@ from .stats import SimStats
 if TYPE_CHECKING:
     from repro.obs.hooks import SimInstrument
 
-__all__ = ["GramerSimulator", "SimResult", "AncestorBufferOverflowError"]
+__all__ = [
+    "GramerSimulator",
+    "SimResult",
+    "AncestorBufferOverflowError",
+    "ENGINES",
+    "DEFAULT_ENGINE",
+    "make_simulator",
+    "resolve_vertex_rank",
+]
 
 _STEAL_RETRY_CYCLES = 32
+
+#: Engine choices accepted everywhere an ``engine=`` knob exists.
+#: ``"fast"`` is the batched engine of :mod:`repro.accel.fastsim`,
+#: bit-identical to ``"reference"`` (the event-by-event model below) and
+#: the default for every untraced run.
+ENGINES = ("fast", "reference")
+DEFAULT_ENGINE = "fast"
+
+
+def resolve_vertex_rank(
+    graph: CSRGraph,
+    vertex_rank: np.ndarray | None,
+    use_on1_ranks: bool,
+) -> np.ndarray:
+    """Resolve the ON1 rank map exactly as the simulators expect it.
+
+    Shared by both engines so rank validation/derivation cannot drift.
+    """
+    if vertex_rank is not None:
+        resolved = np.asarray(vertex_rank, dtype=np.int64)
+        if len(resolved) != graph.num_vertices:
+            raise ValueError("vertex_rank must have one entry per vertex")
+        return resolved
+    if use_on1_ranks:
+        return rank_permutation(occurrence_numbers(graph, hops=1))
+    return np.arange(graph.num_vertices, dtype=np.int64)
+
+
+def make_simulator(
+    graph: CSRGraph,
+    config: GramerConfig | None = None,
+    *,
+    engine: str = DEFAULT_ENGINE,
+    vertex_rank: np.ndarray | None = None,
+    use_on1_ranks: bool = True,
+    instrument: "SimInstrument | None" = None,
+):
+    """Construct a GRAMER simulator with engine selection.
+
+    This is the one supported way to build a simulator outside
+    ``repro.accel`` (enforced by ``gramer check`` rule GRM701), so the
+    fast and reference engines stay swappable at every call site.
+
+    ``engine="fast"`` (the default) returns the batched engine, which is
+    bit-identical to the reference on every ``SimStats`` field (proven by
+    ``tests/differential/``).  ``engine="reference"`` forces the
+    event-by-event model.  Passing an ``instrument`` always selects the
+    reference engine: observability hooks fire on per-event state the
+    fast engine does not materialise.
+    """
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    if instrument is not None or engine == "reference":
+        return GramerSimulator(
+            graph,
+            config,
+            vertex_rank=vertex_rank,
+            use_on1_ranks=use_on1_ranks,
+            instrument=instrument,
+        )
+    from .fastsim import FastGramerSimulator
+
+    return FastGramerSimulator(
+        graph,
+        config,
+        vertex_rank=vertex_rank,
+        use_on1_ranks=use_on1_ranks,
+    )
 
 # Operation kinds.  Each recorded op is (kind, address, src, pre_cycles):
 # pre_cycles of pipeline compute precede the request; _OP_END carries only
@@ -142,16 +220,7 @@ class GramerSimulator:
         # reads simulator state and never writes it, so a traced run is
         # bit-identical to an untraced one.
         self.instrument = instrument
-        if vertex_rank is not None:
-            self.vertex_rank = np.asarray(vertex_rank, dtype=np.int64)
-            if len(self.vertex_rank) != graph.num_vertices:
-                raise ValueError("vertex_rank must have one entry per vertex")
-        elif use_on1_ranks:
-            self.vertex_rank = rank_permutation(
-                occurrence_numbers(graph, hops=1)
-            )
-        else:
-            self.vertex_rank = np.arange(graph.num_vertices, dtype=np.int64)
+        self.vertex_rank = resolve_vertex_rank(graph, vertex_rank, use_on1_ranks)
         self._reset()
 
     def _reset(self) -> None:

@@ -12,12 +12,15 @@ Importing this package registers every rule with the engine registry in
   float equality on measured quantities;
 * ``crossproc`` (GRM5xx) — large objects or closures shipped through
   process-pool submissions by value;
-* ``observability`` (GRM6xx) — bare ``print()`` bypassing the obs layer.
+* ``observability`` (GRM6xx) — bare ``print()`` bypassing the obs layer;
+* ``engine_selection`` (GRM7xx) — direct ``GramerSimulator`` construction
+  bypassing :func:`repro.accel.sim.make_simulator`.
 """
 
 from . import (  # noqa: F401  (import-for-registration)
     crossproc,
     determinism,
+    engine_selection,
     immutability,
     observability,
     purity,

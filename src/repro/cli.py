@@ -20,7 +20,7 @@ import argparse
 import time
 
 from repro.accel.energy import gramer_energy
-from repro.accel.sim import GramerSimulator
+from repro.accel.sim import DEFAULT_ENGINE, ENGINES, make_simulator
 from repro.graph.io import load_edge_list
 from repro.graph.stats import degree_stats
 from repro.mining.apps import make_app
@@ -84,9 +84,14 @@ def _cmd_simulate(args) -> None:
         from repro.obs import SimInstrument
 
         instrument = SimInstrument(window_cycles=args.trace_window)
+        if args.engine == "fast":
+            print("note: traced runs use the reference engine "
+                  "(obs hooks observe per-event state)")
     print(degree_stats(graph).describe())
     start = time.perf_counter()
-    result = GramerSimulator(graph, config, instrument=instrument).run(app)
+    result = make_simulator(
+        graph, config, engine=args.engine, instrument=instrument
+    ).run(app)
     stats = result.stats
     print(
         f"simulated in {time.perf_counter() - start:.2f}s host time\n"
@@ -144,8 +149,20 @@ def _cmd_sweep(args) -> None:
             raise SystemExit(
                 f"unknown dataset {name!r}; see `gramer datasets`"
             )
+    # Engine selection only applies to the simulator backend; the default
+    # engine stays out of the spec so artifact-cache keys are unchanged
+    # (both engines produce byte-identical results anyway).
+    gramer_params = (
+        {"engine": args.engine} if args.engine != DEFAULT_ENGINE else None
+    )
     specs = [
-        cell_jobspec(backend, app, graph, args.scale)
+        cell_jobspec(
+            backend,
+            app,
+            graph,
+            args.scale,
+            params=gramer_params if backend == "gramer" else None,
+        )
         for app in args.apps
         for graph in graphs
         for backend in backends
@@ -240,6 +257,9 @@ def _cmd_trace(args) -> None:
         raise SystemExit(
             f"unknown dataset {args.dataset!r}; see `gramer datasets`"
         )
+    if args.engine == "fast":
+        print("note: traced runs use the reference engine "
+              "(obs hooks observe per-event state)")
     tracer = Tracer()
     instrument = SimInstrument(tracer=tracer, window_cycles=args.window)
     spec = cell_jobspec("gramer", args.app, args.dataset, args.scale)
@@ -277,7 +297,9 @@ def _cmd_profile(args) -> None:
     instrument = SimInstrument(
         window_cycles=args.window, registry=registry
     )
-    sim = GramerSimulator(graph, config, instrument=instrument)
+    # Instrumented: the factory routes this to the reference engine, whose
+    # hierarchy/pressure introspection the report below relies on.
+    sim = make_simulator(graph, config, instrument=instrument)
     result = sim.run(app)
     sim.hierarchy.publish(registry)
     print(
@@ -364,6 +386,10 @@ def main(argv: list[str] | None = None) -> None:
                           help="write a Chrome-trace of the run to PATH")
     simulate.add_argument("--trace-window", type=int, default=1024,
                           help="timeline window width in cycles")
+    simulate.add_argument("--engine", default=DEFAULT_ENGINE,
+                          choices=list(ENGINES),
+                          help="simulation engine (fast is byte-identical "
+                               "to reference; traced runs force reference)")
     simulate.set_defaults(func=_cmd_simulate)
 
     experiment = sub.add_parser("experiment",
@@ -400,6 +426,10 @@ def main(argv: list[str] | None = None) -> None:
                        help="write structured sweep results to this JSON file")
     sweep.add_argument("--trace", default=None, metavar="PATH",
                        help="write a Chrome-trace of job lifecycle to PATH")
+    sweep.add_argument("--engine", default=DEFAULT_ENGINE,
+                       choices=list(ENGINES),
+                       help="simulation engine for gramer cells "
+                            "(results are byte-identical either way)")
     sweep.set_defaults(func=_cmd_sweep)
 
     trace = sub.add_parser(
@@ -417,6 +447,10 @@ def main(argv: list[str] | None = None) -> None:
                        help="also write one event per line to PATH")
     trace.add_argument("--window", type=int, default=1024,
                        help="timeline window width in cycles")
+    trace.add_argument("--engine", default=DEFAULT_ENGINE,
+                       choices=list(ENGINES),
+                       help="accepted for symmetry; traced runs always use "
+                            "the reference engine")
     trace.set_defaults(func=_cmd_trace)
 
     profile = sub.add_parser(

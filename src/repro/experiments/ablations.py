@@ -19,7 +19,7 @@ calls them out and this module quantifies each:
 
 from __future__ import annotations
 
-from repro.accel.sim import GramerSimulator
+from repro.accel.sim import make_simulator
 
 from . import datasets
 from .harness import build_app, experiment_config, format_table
@@ -48,7 +48,7 @@ def run_steal_selector(
         for selector in ("stealing_buffer", "random"):
             app = build_app(app_name, graph_name, scale)
             config = experiment_config(steal_victim_select=selector)
-            result = GramerSimulator(graph, config).run(app)
+            result = make_simulator(graph, config).run(app)
             cycles[selector] = result.cycles
             steals[selector] = result.stats.steals
         rows.append(
@@ -86,7 +86,7 @@ def run_rank_source(
         results = {}
         for label, use_on1 in (("on1", True), ("identity", False)):
             app = build_app(app_name, graph_name, scale)
-            sim = GramerSimulator(
+            sim = make_simulator(
                 graph,
                 experiment_config(onchip_entries=budget),
                 use_on1_ranks=use_on1,
@@ -123,7 +123,7 @@ def run_arbitrator_policy(
         for policy in ("round_robin", "degree_balanced"):
             app = build_app(app_name, graph_name, scale)
             config = experiment_config(arbitrator=policy)
-            results[policy] = GramerSimulator(graph, config).run(app)
+            results[policy] = make_simulator(graph, config).run(app)
         rows.append(
             {
                 "graph": graph_name,
@@ -155,7 +155,7 @@ def run_partition_sweep(
     for count in partitions:
         app = build_app(app_name, graph_name, scale)
         config = experiment_config(num_partitions=count)
-        cycles = GramerSimulator(graph, config).run(app).cycles
+        cycles = make_simulator(graph, config).run(app).cycles
         if base_cycles is None:
             base_cycles = cycles
         rows.append(

@@ -10,7 +10,7 @@ projected slowdown and intermediate traffic per graph.
 from __future__ import annotations
 
 from repro.accel.bfs_model import estimate_bfs_mode
-from repro.accel.sim import GramerSimulator
+from repro.accel.sim import make_simulator
 
 from . import datasets
 from .harness import build_app, experiment_config, format_table
@@ -30,7 +30,7 @@ def run(
     for graph_name in graphs:
         graph = datasets.load(graph_name, scale)
         app = build_app(app_name, graph_name, scale)
-        result = GramerSimulator(graph, experiment_config()).run(app)
+        result = make_simulator(graph, experiment_config()).run(app)
         estimate = estimate_bfs_mode(result)
         rows.append(
             {

@@ -15,7 +15,7 @@ for Static+LRU over Uniform (1.60–2.95× speedup) and a further +1–6pp /
 
 from __future__ import annotations
 
-from repro.accel.sim import GramerSimulator
+from repro.accel.sim import make_simulator
 
 from . import datasets
 from .harness import build_app, experiment_config, format_table
@@ -54,7 +54,7 @@ def run(
             config = experiment_config(
                 onchip_entries=total_entries, low_policy=policy
             )
-            result = GramerSimulator(graph, config).run(app)
+            result = make_simulator(graph, config).run(app)
             rows.append(
                 {
                     "app": app_name,

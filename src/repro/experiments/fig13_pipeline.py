@@ -9,7 +9,7 @@ pressure).
 
 from __future__ import annotations
 
-from repro.accel.sim import GramerSimulator
+from repro.accel.sim import make_simulator
 
 from . import datasets
 from .harness import build_app, experiment_config, format_table
@@ -34,7 +34,7 @@ def run_slot_sweep(
         for slots in SLOT_COUNTS:
             app = build_app(app_name, graph_name, scale)
             config = experiment_config(slots_per_pu=slots)
-            cycles[slots] = GramerSimulator(graph, config).run(app).cycles
+            cycles[slots] = make_simulator(graph, config).run(app).cycles
         rows.append(
             {
                 "graph": graph_name,
@@ -62,7 +62,7 @@ def run_work_stealing(
         for stealing in (False, True):
             app = build_app(app_name, graph_name, scale)
             config = experiment_config(work_stealing=stealing)
-            result = GramerSimulator(graph, config).run(app)
+            result = make_simulator(graph, config).run(app)
             cycles[stealing] = result.cycles
             if stealing:
                 steals = result.stats.steals

@@ -10,7 +10,7 @@ only 0.91×–1.07× variation.
 
 from __future__ import annotations
 
-from repro.accel.sim import GramerSimulator
+from repro.accel.sim import make_simulator
 
 from . import datasets
 from .harness import build_app, experiment_config, format_table
@@ -44,7 +44,7 @@ def run_tau_sweep(
             config = experiment_config(
                 onchip_entries=2 * data_entries, tau=tau
             )
-            cycles[tau] = GramerSimulator(graph, config).run(app).cycles
+            cycles[tau] = make_simulator(graph, config).run(app).cycles
         rows.append(
             {
                 "graph": graph_name,
@@ -71,7 +71,7 @@ def run_lambda_sweep(
         for lam in LAMBDAS:
             app = build_app(app_name, graph_name, scale)
             config = experiment_config(lam=lam)
-            cycles[lam] = GramerSimulator(graph, config).run(app).cycles
+            cycles[lam] = make_simulator(graph, config).run(app).cycles
         rows.append(
             {
                 "graph": graph_name,

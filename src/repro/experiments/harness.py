@@ -129,8 +129,15 @@ def run_gramer_cell(
     scale: str = "small",
     config: GramerConfig | None = None,
     energy_params: EnergyParams | None = None,
+    engine: str | None = None,
 ) -> CellResult:
-    """Simulate GRAMER for one Table III cell."""
+    """Simulate GRAMER for one Table III cell.
+
+    ``engine`` selects the simulation engine (``"fast"``/``"reference"``);
+    ``None`` keeps it out of the job spec so cache keys stay stable and the
+    backend applies its default.  Both engines produce byte-identical
+    results, so the choice never affects the cell's numbers.
+    """
     params = {
         f"energy_{k}": v
         for k, v in _config_overrides(energy_params, EnergyParams()).items()
@@ -138,6 +145,8 @@ def run_gramer_cell(
     # energy_params with all-default fields must still reach the backend.
     if energy_params is not None and not params:
         params = {"energy_static_w": EnergyParams().static_w}
+    if engine is not None:
+        params["engine"] = engine
     spec = cell_jobspec(
         "gramer",
         app_name,

@@ -116,7 +116,10 @@ class Application:
         self.embeddings_by_size[size] += 1
         if self.counts_patterns(size):
             code = self.pattern_of(graph, vertices, columns)
-            self.patterns_by_size.setdefault(size, Counter())[code] += 1
+            by_size = self.patterns_by_size.get(size)
+            if by_size is None:
+                by_size = self.patterns_by_size[size] = Counter()
+            by_size[code] += 1
 
     # -- helpers -----------------------------------------------------------------
 

@@ -40,6 +40,17 @@ class PatternCode:
     adjacency: int
     labels: tuple[int, ...]
 
+    def __post_init__(self) -> None:
+        # Codes are interned by the canonicalization caches and then key
+        # per-embedding Counter updates; precomputing the hash avoids
+        # rebuilding the field tuple on every update.
+        object.__setattr__(
+            self, "_cached_hash", hash((self.size, self.adjacency, self.labels))
+        )
+
+    def __hash__(self) -> int:
+        return self._cached_hash  # type: ignore[attr-defined, no-any-return]
+
     @property
     def num_edges(self) -> int:
         """Number of edges in the pattern."""
@@ -93,6 +104,18 @@ def _triangle_index(size: int, i: int, j: int) -> int:
 
 
 @lru_cache(maxsize=262144)
+def _intern(code: PatternCode) -> PatternCode:
+    """Map value-equal codes to one representative instance.
+
+    ``_canonicalize`` is memoized on the *raw* adjacency mask, so distinct
+    raw masks of the same pattern would otherwise each hold their own
+    (value-equal) ``PatternCode``; interning restores identity equality,
+    which lets dict/Counter lookups skip ``__eq__`` entirely.
+    """
+    return code
+
+
+@lru_cache(maxsize=262144)
 def _canonicalize(size: int, adjacency: int, labels: tuple[int, ...]) -> PatternCode:
     best: tuple[tuple[int, ...], int] | None = None
     pairs = list(combinations(range(size), 2))
@@ -114,7 +137,7 @@ def _canonicalize(size: int, adjacency: int, labels: tuple[int, ...]) -> Pattern
         if best is None or key < best:
             best = key
     assert best is not None
-    return PatternCode(size=size, adjacency=best[1], labels=best[0])
+    return _intern(PatternCode(size=size, adjacency=best[1], labels=best[0]))
 
 
 def canonical_code(
@@ -143,6 +166,20 @@ def canonical_code(
     return _canonicalize(size, mask, label_tuple)
 
 
+@lru_cache(maxsize=262144)
+def _code_from_column_tuple(
+    columns: tuple[int, ...], labels: tuple[int, ...] | None
+) -> PatternCode:
+    size = len(columns)
+    edges = [
+        (j, i)
+        for i in range(size)
+        for j in range(i)
+        if columns[i] >> j & 1
+    ]
+    return canonical_code(edges, size, labels)
+
+
 def code_from_columns(
     columns: Sequence[int], labels: Sequence[int] | None = None
 ) -> PatternCode:
@@ -152,15 +189,14 @@ def code_from_columns(
     embedding members vertex ``i`` is adjacent to — the representation the
     mining engine accumulates incrementally during extend-check (one bit per
     connectivity check, no extra memory traffic).
+
+    Memoized on the (columns, labels) pair: embeddings repeat a tiny set of
+    column shapes (bounded by ``MAX_PATTERN_SIZE``), so mining workloads hit
+    the cache almost always and skip the edge-list rebuild.
     """
-    size = len(columns)
-    edges = [
-        (j, i)
-        for i in range(size)
-        for j in range(i)
-        if columns[i] >> j & 1
-    ]
-    return canonical_code(edges, size, labels)
+    return _code_from_column_tuple(
+        tuple(columns), tuple(labels) if labels is not None else None
+    )
 
 
 _NAMED_PATTERNS: dict[tuple[int, int], str] = {}

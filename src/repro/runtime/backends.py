@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.accel.config import GramerConfig
 from repro.accel.energy import EnergyParams, cpu_energy, gramer_energy
-from repro.accel.sim import GramerSimulator, SimResult
+from repro.accel.sim import DEFAULT_ENGINE, SimResult, make_simulator
 from repro.baselines.cpu import CPUConfig
 from repro.baselines.fractal import BaselineResult, FractalModel
 from repro.baselines.rstream import RStreamModel
@@ -205,9 +205,13 @@ class GramerBackend:
         else:
             vertex_rank = None
         start = time.perf_counter()
-        result: SimResult = GramerSimulator(
+        # Engine selection rides in params; instrumented runs are forced to
+        # the reference engine by the factory (obs hooks observe per-event
+        # state the fast engine does not materialise).
+        result: SimResult = make_simulator(
             graph,
             cfg,
+            engine=str(params.get("engine", DEFAULT_ENGINE)),
             vertex_rank=vertex_rank,
             use_on1_ranks=params.get("use_on1_ranks", True),
             instrument=instrument,

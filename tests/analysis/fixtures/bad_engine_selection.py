@@ -1,0 +1,19 @@
+"""Known-bad corpus for the engine-selection family (GRM7xx)."""
+
+from repro.accel import sim
+from repro.accel.sim import GramerSimulator, make_simulator
+
+
+def pinned_to_reference(graph, config):
+    # GRM701: direct construction bypasses engine selection.
+    return GramerSimulator(graph, config)
+
+
+def pinned_via_module(graph, config):
+    # GRM701: attribute access is the same bypass.
+    return sim.GramerSimulator(graph, config)
+
+
+def selected_properly(graph, config):
+    # allowed: the factory keeps the engine a parameter.
+    return make_simulator(graph, config, engine="reference")

@@ -17,6 +17,7 @@ CORPUS = {
     "bad_units.py": {"GRM401", "GRM402"},
     "bad_crossproc.py": {"GRM501"},
     "bad_observability.py": {"GRM601"},
+    "bad_engine_selection.py": {"GRM701"},
 }
 
 
@@ -78,6 +79,17 @@ class TestAllowedIdioms:
         )
         assert lineno not in self._lines("bad_observability.py", "GRM601")
 
+    def test_factory_construction_allowed(self):
+        flagged = check_paths([FIXTURES / "bad_engine_selection.py"])
+        assert not any("make_simulator" in f.message.split()[0] for f in flagged)
+        source = (FIXTURES / "bad_engine_selection.py").read_text()
+        lineno = next(
+            i
+            for i, line in enumerate(source.splitlines(), start=1)
+            if "make_simulator(graph" in line
+        )
+        assert lineno not in {f.line for f in flagged}
+
     def test_scalar_submission_allowed(self):
         source = (FIXTURES / "bad_crossproc.py").read_text()
         lineno = next(
@@ -131,6 +143,19 @@ class TestRuleEdgeCases:
             relpath="src/repro/foo.py",
         )
         assert [f.rule_id for f in findings] == ["GRM601"]
+
+    def test_direct_construction_flagged_outside_accel(self):
+        source = "sim = GramerSimulator(graph, config)\n"
+        findings = check_source(
+            source, "src/repro/experiments/foo.py",
+            relpath="src/repro/experiments/foo.py",
+        )
+        assert [f.rule_id for f in findings] == ["GRM701"]
+
+    def test_direct_construction_allowed_inside_accel(self):
+        source = "sim = GramerSimulator(graph, config)\n"
+        relpath = "src/repro/accel/fastsim.py"
+        assert check_source(source, relpath, relpath=relpath) == []
 
     def test_print_allowed_on_sanctioned_output_surfaces(self):
         for relpath in (

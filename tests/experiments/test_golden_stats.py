@@ -1,0 +1,103 @@
+"""Golden-stats regression fixtures for the simulator.
+
+Each fixture under ``golden/`` freezes the full ``SimStats.as_dict()`` (plus
+mining counts) for one Table III tiny cell.  Any change to simulator timing,
+cache behaviour, or mining semantics shows up as a field-level diff naming
+the first divergent key — much easier to review than "cycles changed".
+
+Regenerate after an *intentional* semantics change with::
+
+    GRAMER_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/experiments/test_golden_stats.py -q
+
+and commit the updated JSON together with the change that explains it.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.accel.config import GramerConfig
+from repro.accel.sim import make_simulator
+from repro.experiments import datasets
+from repro.runtime.backends import build_app
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+CELLS = [
+    ("3-CF", "citeseer"),
+    ("5-CF", "p2p"),
+    ("3-MC", "citeseer"),
+    ("4-MC", "p2p"),
+    ("FSM", "citeseer"),
+    ("4-CF", "astro"),
+]
+
+
+def compute_cell(app_name: str, graph_name: str, scale: str = "tiny") -> dict:
+    """Run one cell (fast engine) to its golden-comparable payload."""
+    app = build_app(app_name, graph_name, scale)
+    loader = datasets.load_labeled if app.needs_labels else datasets.load
+    graph = loader(graph_name, scale)
+    result = make_simulator(graph, GramerConfig()).run(app)
+    return {
+        "app": app_name,
+        "graph": graph_name,
+        "scale": scale,
+        "stats": result.stats.as_dict(),
+        "embeddings_by_size": {
+            str(k): v for k, v in result.mining.embeddings_by_size.items()
+        },
+        "candidates_checked": app.candidates_checked,
+    }
+
+
+def diff_golden(expected: dict, actual: dict) -> str | None:
+    """Field-by-field comparison; returns a message naming the first
+    divergent key (stats keys in sorted order), or None when identical."""
+    for key in ("app", "graph", "scale", "embeddings_by_size",
+                "candidates_checked"):
+        if expected.get(key) != actual.get(key):
+            return (
+                f"{key}: golden={expected.get(key)!r} "
+                f"actual={actual.get(key)!r}"
+            )
+    golden_stats = expected.get("stats", {})
+    actual_stats = actual.get("stats", {})
+    for key in sorted(set(golden_stats) | set(actual_stats)):
+        if golden_stats.get(key) != actual_stats.get(key):
+            return (
+                f"stats.{key}: golden={golden_stats.get(key)!r} "
+                f"actual={actual_stats.get(key)!r}"
+            )
+    return None
+
+
+def golden_path(app_name: str, graph_name: str) -> Path:
+    return GOLDEN_DIR / f"{app_name}_{graph_name}_tiny.json"
+
+
+@pytest.mark.parametrize(("app_name", "graph_name"), CELLS)
+def test_stats_match_golden(app_name, graph_name):
+    path = golden_path(app_name, graph_name)
+    actual = compute_cell(app_name, graph_name)
+    if os.environ.get("GRAMER_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {path.name}")
+    assert path.exists(), (
+        f"missing golden fixture {path}; regenerate with "
+        "GRAMER_REGEN_GOLDEN=1 (see module docstring)"
+    )
+    expected = json.loads(path.read_text())
+    divergence = diff_golden(expected, actual)
+    assert divergence is None, f"{app_name}/{graph_name}: {divergence}"
+
+
+def test_no_stale_golden_fixtures():
+    """Every checked-in fixture corresponds to a cell in CELLS."""
+    known = {golden_path(a, g).name for a, g in CELLS}
+    on_disk = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert on_disk <= known, f"stale fixtures: {sorted(on_disk - known)}"
