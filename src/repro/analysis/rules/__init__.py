@@ -14,7 +14,9 @@ Importing this package registers every rule with the engine registry in
   process-pool submissions by value;
 * ``observability`` (GRM6xx) — bare ``print()`` bypassing the obs layer;
 * ``engine_selection`` (GRM7xx) — direct ``GramerSimulator`` construction
-  bypassing :func:`repro.accel.sim.make_simulator`.
+  bypassing :func:`repro.accel.sim.make_simulator`;
+* ``resilience`` (GRM8xx) — broad exception handlers that swallow errors
+  without re-raise or logging.
 """
 
 from . import (  # noqa: F401  (import-for-registration)
@@ -24,5 +26,6 @@ from . import (  # noqa: F401  (import-for-registration)
     immutability,
     observability,
     purity,
+    resilience,
     units,
 )

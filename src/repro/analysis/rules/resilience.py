@@ -1,0 +1,111 @@
+"""Resilience rules (GRM8xx).
+
+The execution runtime's whole recovery model rests on failures being
+*visible*: classified by the retry policy, recorded in the run ledger,
+counted in cache stats.  A handler that swallows a broad exception class
+with no re-raise and no logging deletes the failure from every one of
+those channels — the sweep "succeeds" with silently missing or wrong
+cells.
+
+* ``GRM801`` — ``except:`` / ``except Exception:`` / ``except
+  BaseException:`` whose body neither re-raises nor logs (a bare ``pass``
+  / ``...`` body).  Either narrow the exception to the types the code can
+  actually absorb (``except OSError:`` around best-effort disk writes is
+  fine), log through :func:`repro.obs.log.get_logger`, or let it
+  propagate into the runtime's failure isolation, which turns it into a
+  classified, ledgered ``JobResult``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, rule
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+# Call attribute/function names that count as surfacing the error.
+_LOGGING_NAMES = {
+    "debug",
+    "info",
+    "warning",
+    "warn",
+    "error",
+    "exception",
+    "critical",
+    "log",
+}
+
+
+def _names_broad_type(node: ast.expr | None) -> bool:
+    """Whether an ``except`` type expression catches (at least) Exception."""
+    if node is None:
+        return True  # bare except
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _BROAD_NAMES
+    if isinstance(node, ast.Tuple):
+        return any(_names_broad_type(element) for element in node.elts)
+    return False
+
+
+def _handles_the_error(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body re-raises or logs the failure."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            fn = node.func
+            name = (
+                fn.attr
+                if isinstance(fn, ast.Attribute)
+                else fn.id
+                if isinstance(fn, ast.Name)
+                else ""
+            )
+            if name in _LOGGING_NAMES:
+                return True
+    return False
+
+
+def _body_is_trivial(handler: ast.ExceptHandler) -> bool:
+    """Whether the body does nothing at all (``pass`` / ``...`` / docstring)."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue
+        return False
+    return True
+
+
+@rule(
+    "GRM801",
+    "resilience",
+    "broad except handler swallows the error without re-raise or logging",
+)
+def exception_swallowing(context: ModuleContext) -> Iterator[Finding]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _names_broad_type(node.type):
+            continue
+        if _handles_the_error(node):
+            continue
+        if not _body_is_trivial(node):
+            # The body does *something* (sets a fallback, returns a failure
+            # value); conservative scope keeps the rule signal-only.
+            continue
+        caught = (
+            ast.unparse(node.type) if node.type is not None else "<bare>"
+        )
+        yield context.finding(
+            node,
+            "GRM801",
+            f"except {caught} swallows the error with no re-raise or "
+            "logging — narrow the exception type, log via "
+            "repro.obs.log.get_logger(), or let the runtime's failure "
+            "isolation classify and ledger it",
+        )

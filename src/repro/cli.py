@@ -7,6 +7,8 @@
     gramer simulate --dataset p2p --app 5-CF --slots 16
     gramer experiment --only table3 fig12 --scale small --jobs 4
     gramer sweep --apps 3-CF 4-MC --datasets citeseer p2p --jobs 4
+    gramer sweep --apps 3-CF --datasets citeseer --ledger run.jsonl
+    gramer sweep --apps 3-CF --datasets citeseer --resume run.jsonl
     gramer trace 3-CF citeseer --out trace.json
     gramer profile --dataset citeseer --app 3-CF --scale tiny
     gramer datasets
@@ -20,7 +22,12 @@ import argparse
 import time
 
 from repro.accel.energy import gramer_energy
-from repro.accel.sim import DEFAULT_ENGINE, ENGINES, make_simulator
+from repro.accel.sim import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    AncestorBufferOverflowError,
+    make_simulator,
+)
 from repro.graph.io import load_edge_list
 from repro.graph.stats import degree_stats
 from repro.mining.apps import make_app
@@ -89,9 +96,22 @@ def _cmd_simulate(args) -> None:
                   "(obs hooks observe per-event state)")
     print(degree_stats(graph).describe())
     start = time.perf_counter()
-    result = make_simulator(
-        graph, config, engine=args.engine, instrument=instrument
-    ).run(app)
+    try:
+        result = make_simulator(
+            graph, config, engine=args.engine, instrument=instrument
+        ).run(app)
+    except AncestorBufferOverflowError:
+        raise  # model-level outcome: identical in both engines
+    except Exception as exc:
+        if args.engine != "fast" or instrument is not None:
+            raise
+        # Graceful degradation (docs/resilience.md): one logged shot on
+        # the reference engine before giving up on the run.
+        print(f"fast engine failed ({type(exc).__name__}: {exc}); "
+              f"falling back to the reference engine")
+        result = make_simulator(
+            graph, config, engine="reference", instrument=instrument
+        ).run(app)
     stats = result.stats
     print(
         f"simulated in {time.perf_counter() - start:.2f}s host time\n"
@@ -125,6 +145,14 @@ def _cmd_experiment(args) -> None:
     run_all_main(forwarded)
 
 
+#: ``gramer sweep`` exit codes (docs/resilience.md): 0 = every cell ok,
+#: 3 = partial (some cells failed, some succeeded), 1 = total failure.
+EXIT_OK = 0
+EXIT_TOTAL_FAILURE = 1
+EXIT_PARTIAL = 3
+EXIT_INTERRUPTED = 130
+
+
 def _cmd_sweep(args) -> None:
     """Cross-product sweep of apps × datasets × backends via the runtime."""
     from repro.experiments import datasets
@@ -134,7 +162,14 @@ def _cmd_sweep(args) -> None:
         format_table,
         save_results,
     )
-    from repro.runtime import Executor, backend_names
+    from repro.runtime import (
+        Executor,
+        JobResult,
+        RetryPolicy,
+        RunLedger,
+        backend_names,
+        load_ledger,
+    )
 
     backends = args.backends or ["gramer", "fractal", "rstream"]
     known = backend_names()
@@ -172,21 +207,74 @@ def _cmd_sweep(args) -> None:
         from repro.obs import Tracer
 
         tracer = Tracer()
+
+    # Resume: replay the ledger and lift completed cells out of the grid
+    # before the executor ever sees them (docs/resilience.md).
+    resume_state = load_ledger(args.resume) if args.resume else None
+    ledger_path = args.ledger or args.resume
+    ledger = RunLedger(ledger_path) if ledger_path else None
+    resumed: dict[int, JobResult] = {}
+    pending: list = []
+    if resume_state is not None:
+        for index, spec in enumerate(specs):
+            entry = resume_state.entry_for(spec)
+            if entry is not None and entry.completed:
+                resumed[index] = JobResult(
+                    spec=spec,
+                    system=entry.system or spec.backend,
+                    ok=True,
+                    seconds=entry.seconds,
+                    energy_j=entry.energy_j,
+                    detail={"resumed": True},
+                    cached=True,
+                    retries=entry.retries,
+                )
+            else:
+                pending.append(spec)
+    else:
+        pending = list(specs)
+
+    retry = RetryPolicy(max_attempts=max(1, args.retries))
     executor = Executor(
         jobs=args.jobs,
         timeout_s=args.timeout,
         use_cache=not args.no_cache,
         tracer=tracer,
+        retry=retry,
+        ledger=ledger,
     )
     start = time.perf_counter()
-    results = executor.run(specs)
+    try:
+        fresh = executor.run(pending) if pending else []
+    except KeyboardInterrupt:
+        wall = time.perf_counter() - start
+        print(f"\ninterrupted after {wall:.2f}s; "
+              f"completed cells are durable in the artifact cache"
+              + (f" and {ledger_path}" if ledger_path else ""))
+        if ledger_path:
+            print(f"resume with: gramer sweep ... --resume {ledger_path}")
+        raise SystemExit(EXIT_INTERRUPTED) from None
+    finally:
+        if ledger is not None:
+            ledger.close()
     wall = time.perf_counter() - start
+
+    fresh_iter = iter(fresh)
+    results = [
+        resumed[i] if i in resumed else next(fresh_iter)
+        for i in range(len(specs))
+    ]
 
     rows = []
     for result in results:
         spec = result.spec
         if result.ok:
-            status = "cached" if result.cached else "ok"
+            if result.detail.get("resumed"):
+                status = "resumed"
+            else:
+                status = "cached" if result.cached else "ok"
+            if result.retries:
+                status += f" ({result.retries} retries)"
         else:
             status = f"failed: {result.error}"
         rows.append([
@@ -202,9 +290,10 @@ def _cmd_sweep(args) -> None:
     ))
     cached = sum(1 for r in results if r.cached)
     failed = sum(1 for r in results if not r.ok)
+    retried = sum(r.retries for r in results)
     print(
-        f"{len(results)} jobs ({cached} cached, {failed} failed) in "
-        f"{wall:.2f}s with {executor.jobs} worker(s)"
+        f"{len(results)} jobs ({cached} cached/resumed, {failed} failed, "
+        f"{retried} retries) in {wall:.2f}s with {executor.jobs} worker(s)"
     )
     slowest = sorted(results, key=lambda r: -r.wall_seconds)[:3]
     if slowest and slowest[0].wall_seconds > 0:
@@ -233,6 +322,7 @@ def _cmd_sweep(args) -> None:
                         "energy_j": r.energy_j,
                         "wall_seconds": r.wall_seconds,
                         "cached": r.cached,
+                        "retries": r.retries,
                         "error": r.error,
                         "detail": r.detail,
                     }
@@ -243,7 +333,9 @@ def _cmd_sweep(args) -> None:
         )
         print(f"wrote {args.out}")
     if failed:
-        raise SystemExit(1)
+        raise SystemExit(
+            EXIT_TOTAL_FAILURE if failed == len(results) else EXIT_PARTIAL
+        )
 
 
 def _cmd_trace(args) -> None:
@@ -420,6 +512,16 @@ def main(argv: list[str] | None = None) -> None:
                        help="process-pool width (default: $GRAMER_JOBS or 1)")
     sweep.add_argument("--timeout", type=float, default=None,
                        help="per-job timeout in seconds (pool mode)")
+    sweep.add_argument("--retries", type=int, default=3,
+                       help="max attempts per job for transient failures "
+                            "(1 disables retries; default 3)")
+    sweep.add_argument("--ledger", default=None, metavar="PATH",
+                       help="append a crash-safe JSONL run ledger to PATH "
+                            "(docs/resilience.md)")
+    sweep.add_argument("--resume", default=None, metavar="LEDGER",
+                       help="skip cells the ledger records as ok, re-run "
+                            "failed/interrupted ones, append to the same "
+                            "ledger")
     sweep.add_argument("--no-cache", action="store_true",
                        help="recompute cells instead of reusing cached results")
     sweep.add_argument("--out", default=None,

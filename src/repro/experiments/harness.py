@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Sequence
 
 if TYPE_CHECKING:
     from repro.obs.hooks import SimInstrument
+    from repro.runtime.retry import RetryPolicy
 
 from repro.accel.config import GramerConfig
 from repro.accel.energy import EnergyParams
@@ -111,13 +112,18 @@ def run_cell(
     spec: JobSpec,
     use_cache: bool = True,
     instrument: "SimInstrument | None" = None,
+    retry: "RetryPolicy | None" = None,
 ) -> CellResult:
     """Execute one cell spec through the backend registry.
 
     ``instrument`` attaches observability hooks (and bypasses the cache
-    so the simulator actually runs); see :mod:`repro.obs`.
+    so the simulator actually runs); see :mod:`repro.obs`.  ``retry``
+    overrides the runtime's default transient-failure policy
+    (:data:`repro.runtime.retry.DEFAULT_RETRY`); see docs/resilience.md.
     """
-    result = run_spec(spec, use_cache=use_cache, instrument=instrument)
+    result = run_spec(
+        spec, use_cache=use_cache, instrument=instrument, retry=retry
+    )
     if not result.ok:
         raise RuntimeError(f"cell {spec.label()} failed: {result.error}")
     return cell_from_result(result)

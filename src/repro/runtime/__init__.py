@@ -9,9 +9,19 @@ Every way of running a mining workload — the CLI, the experiment harness,
   software engine, the GRAMER cycle simulator, and the Fractal/RStream
   baseline models behind one ``run(JobSpec) -> JobResult`` interface;
 * :class:`~repro.runtime.executor.Executor` — inline or process-pool
-  fan-out with per-job failure capture and deterministic ordering;
+  fan-out with per-job failure capture, retry rounds, and deterministic
+  ordering;
 * :mod:`~repro.runtime.cache` — the content-addressed artifact cache
-  memoizing proxy graphs, ON1 rankings, and completed job results.
+  memoizing proxy graphs, ON1 rankings, and completed job results, with
+  checksum-verified disk entries and quarantine on corruption;
+* :mod:`~repro.runtime.retry` — transient/permanent error classification
+  and deterministic seeded backoff;
+* :mod:`~repro.runtime.ledger` — the crash-safe JSONL run journal behind
+  ``gramer sweep --resume``;
+* :mod:`~repro.runtime.chaos` — the fault-injection harness proving the
+  recovery paths (``GRAMER_FAULTS``, ``Executor(faults=...)``).
+
+See ``docs/resilience.md`` for the recovery model end to end.
 """
 
 from .backends import (
@@ -24,26 +34,40 @@ from .backends import (
     register_backend,
 )
 from .cache import ArtifactCache, default_cache, reset_default_cache, stable_hash
+from .chaos import FaultPlan, FaultSpec, InjectedFaultError, parse_fault_plan
 from .executor import Executor, resolve_jobs, run_spec
+from .ledger import RunLedger, load_ledger, spec_digest
+from .retry import DEFAULT_RETRY, NO_RETRY, RetryPolicy, classify_error
 from .spec import JobResult, JobSpec, failed_result, make_jobspec
 
 __all__ = [
     "ArtifactCache",
     "Backend",
+    "DEFAULT_RETRY",
     "Executor",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
     "JobResult",
     "JobSpec",
+    "NO_RETRY",
+    "RetryPolicy",
+    "RunLedger",
     "backend_names",
     "build_app",
     "cached_vertex_rank",
+    "classify_error",
     "default_cache",
     "experiment_config",
     "failed_result",
     "get_backend",
+    "load_ledger",
     "make_jobspec",
+    "parse_fault_plan",
     "register_backend",
     "reset_default_cache",
     "resolve_jobs",
     "run_spec",
+    "spec_digest",
     "stable_hash",
 ]

@@ -14,8 +14,17 @@ module memoizes all three behind one interface:
   one process are free and repeated runs across processes — including
   :class:`~repro.runtime.executor.Executor` pool workers — skip
   regeneration entirely;
-* disk failures (read-only filesystem, corrupt entry, version skew) are
-  never fatal: the cache silently degrades to recomputing.
+* disk failures are never fatal: the cache degrades to recomputing.
+
+Integrity (docs/resilience.md): every disk entry is an **envelope** —
+``{"cache_version", "sha256", "payload"}`` where ``payload`` is the
+pickled value and ``sha256`` its content checksum — and the checksum is
+verified on every read.  An entry that is truncated, bit-flipped, or
+written by a different ``CACHE_VERSION`` is **quarantined**: moved to
+``<root>/quarantine/`` for post-mortem, counted in
+:attr:`CacheStats.quarantined`, and reported as a miss so the artifact is
+recomputed.  Corruption can therefore never surface as an exception *or*
+as silently wrong data.
 
 Values are serialized with :mod:`pickle`; the disk store is a private
 memo, not an interchange format.  Keys must be built from JSON-canonical
@@ -44,10 +53,25 @@ __all__ = [
 ]
 
 # Bump to invalidate every stored artifact when serialized layouts change.
-CACHE_VERSION = 1
+# v2: checksummed envelope entries + JobResult.retries field.
+CACHE_VERSION = 2
 
 _ENV_CACHE_DIR = "GRAMER_CACHE_DIR"
 _DEFAULT_ROOT = Path("~/.cache/gramer-repro")
+_QUARANTINE_DIR = "quarantine"
+
+# Exceptions that mark an unreadable/undecodable entry (as opposed to an
+# OSError reaching the file at all).
+_DECODE_ERRORS = (
+    pickle.PickleError,
+    EOFError,
+    AttributeError,
+    ImportError,
+    IndexError,
+    KeyError,
+    TypeError,
+    ValueError,
+)
 
 
 def _canonical(obj: Any) -> Any:
@@ -88,12 +112,19 @@ def default_cache_root() -> Path:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, split by tier (diagnostics and tests)."""
+    """Hit/miss counters, split by tier (diagnostics and tests).
+
+    ``quarantined`` counts disk entries that failed integrity
+    verification (bad checksum, truncation, version skew) and were moved
+    to ``<root>/quarantine/``; each also counts as a miss, never as an
+    error surfaced to the caller.
+    """
 
     memory_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
     disk_errors: int = 0
+    quarantined: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -101,7 +132,47 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "disk_errors": self.disk_errors,
+            "quarantined": self.quarantined,
         }
+
+
+def _encode_entry(value: Any) -> bytes:
+    """Wrap ``value`` in the checksummed on-disk envelope."""
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    envelope = {
+        "cache_version": CACHE_VERSION,
+        "sha256": hashlib.sha256(payload).hexdigest(),
+        "payload": payload,
+    }
+    return pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class _IntegrityError(Exception):
+    """Internal: entry failed envelope/checksum verification."""
+
+
+def _decode_entry(data: bytes) -> Any:
+    """Verify and unwrap one on-disk envelope; raise on any defect."""
+    try:
+        envelope = pickle.loads(data)
+    except _DECODE_ERRORS as exc:
+        raise _IntegrityError(f"undecodable envelope: {exc}") from exc
+    if not isinstance(envelope, dict) or "payload" not in envelope:
+        raise _IntegrityError("not an envelope (version skew?)")
+    if envelope.get("cache_version") != CACHE_VERSION:
+        raise _IntegrityError(
+            f"cache version skew: entry v{envelope.get('cache_version')!r} "
+            f"vs runtime v{CACHE_VERSION}"
+        )
+    payload = envelope.get("payload")
+    if not isinstance(payload, bytes):
+        raise _IntegrityError("envelope payload is not bytes")
+    if hashlib.sha256(payload).hexdigest() != envelope.get("sha256"):
+        raise _IntegrityError("payload checksum mismatch")
+    try:
+        return pickle.loads(payload)
+    except _DECODE_ERRORS as exc:
+        raise _IntegrityError(f"undecodable payload: {exc}") from exc
 
 
 @dataclass
@@ -130,16 +201,40 @@ class ArtifactCache:
     def _path(self, kind: str, digest: str) -> Path:
         return self.root / kind / f"{digest}.pkl"
 
+    def entry_path(self, kind: str, key: Any) -> Path:
+        """Disk location of ``(kind, key)`` (whether or not it exists)."""
+        return self._path(kind, self.digest(key))
+
     def _remember(self, slot: tuple[str, str], value: Any) -> None:
         self._memory[slot] = value
         self._memory.move_to_end(slot)
         while len(self._memory) > self.memory_items:
             self._memory.popitem(last=False)
 
+    def _quarantine(self, kind: str, digest: str, path: Path) -> None:
+        """Move a failed-verification entry aside and count it."""
+        self.stats.quarantined += 1
+        target = self.root / _QUARANTINE_DIR / f"{kind}-{digest}.pkl"
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            # Out of moves too?  Best effort: drop the bad entry so the
+            # recomputed value can take its slot.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                self.stats.disk_errors += 1
+
     # -- public API ---------------------------------------------------------
 
     def lookup(self, kind: str, key: Any) -> tuple[bool, Any]:
-        """Return ``(hit, value)`` without computing anything."""
+        """Return ``(hit, value)`` without computing anything.
+
+        Disk entries are checksum-verified before deserialization; a
+        corrupt, truncated, or version-skewed entry is quarantined and
+        reported as a miss — never an exception, never garbage data.
+        """
         digest = self.digest(key)
         slot = (kind, digest)
         if slot in self._memory:
@@ -149,14 +244,19 @@ class ArtifactCache:
         if self.use_disk:
             path = self._path(kind, digest)
             try:
-                if path.exists():
-                    with open(path, "rb") as handle:
-                        value = pickle.load(handle)
+                data = path.read_bytes() if path.exists() else None
+            except OSError:
+                self.stats.disk_errors += 1
+                data = None
+            if data is not None:
+                try:
+                    value = _decode_entry(data)
+                except _IntegrityError:
+                    self._quarantine(kind, digest, path)
+                else:
                     self.stats.disk_hits += 1
                     self._remember(slot, value)
                     return True, value
-            except (OSError, pickle.PickleError, EOFError, AttributeError):
-                self.stats.disk_errors += 1
         self.stats.misses += 1
         return False, None
 
@@ -170,8 +270,7 @@ class ArtifactCache:
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            with open(tmp, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.write_bytes(_encode_entry(value))
             os.replace(tmp, path)  # atomic under concurrent pool workers
         except OSError:
             self.stats.disk_errors += 1
@@ -190,6 +289,10 @@ class ArtifactCache:
         value = producer()
         self.store(kind, key, value)
         return value
+
+    def evict_memory(self, kind: str, key: Any) -> None:
+        """Drop one entry from the in-process tier (disk is untouched)."""
+        self._memory.pop((kind, self.digest(key)), None)
 
     def clear_memory(self) -> None:
         """Drop the in-process tier (disk entries survive)."""

@@ -13,14 +13,28 @@ of :class:`~repro.runtime.spec.JobResult`:
 * a job that raises is captured as a failed ``JobResult`` (``ok=False``,
   ``error`` set) instead of aborting the sweep — one poisoned cell never
   kills its siblings;
+* **transient** failures (pool/pickling breakage, timeouts, ``OSError``)
+  are retried under a :class:`~repro.runtime.retry.RetryPolicy` with
+  deterministic seeded backoff — in-process failures retry inside
+  ``run_spec``; worker deaths and timeouts retry at the executor level in
+  fresh-pool rounds.  **Permanent** failures (backend ``ValueError``,
+  assertions) fail on the first attempt.  ``JobResult.retries`` counts the
+  failed attempts either way;
 * ``timeout_s`` caps how long the collector waits on any single job in
-  pool mode (the stuck cell becomes a failed result; inline execution is
-  single-threaded and cannot be preempted, so the cap applies only when
-  fanned out);
+  pool mode.  A timeout fails (or requeues) only that job: in-flight
+  siblings in the same pool run to completion, and the stuck worker is
+  reaped when the round's survivors have finished — one hung cell no
+  longer cancels the sweep;
+* a ``KeyboardInterrupt`` shuts down cleanly: pool workers are
+  terminated, the run ledger (when attached) is flushed so a later
+  ``--resume`` skips everything that completed, and the interrupt
+  propagates to the caller;
 * completed ``JobResult``\\ s are memoized in the artifact cache (keyed by
   the spec's content hash), so re-running a sweep only recomputes changed
   cells.  Failed results are never cached — transient errors should not
-  poison future runs.
+  poison future runs;
+* ``faults`` (or ``$GRAMER_FAULTS``) attaches a chaos
+  :class:`~repro.runtime.chaos.FaultPlan`; see ``docs/resilience.md``.
 """
 
 from __future__ import annotations
@@ -37,6 +51,14 @@ from repro.obs.tracer import CATEGORY_EXECUTOR, PID_EXECUTOR, Tracer
 
 from .backends import get_backend
 from .cache import ArtifactCache, default_cache
+from .chaos import (
+    FaultPlan,
+    active_fault_plan,
+    apply_cache_corruption,
+    apply_pre_run_faults,
+)
+from .ledger import RunLedger
+from .retry import DEFAULT_RETRY, RetryPolicy, is_transient
 from .spec import JobResult, JobSpec, failed_result
 
 __all__ = ["Executor", "run_spec", "resolve_jobs"]
@@ -60,7 +82,11 @@ def resolve_jobs(jobs: int | None = None) -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            _log.warning(
+                "ignoring non-integer %s=%r; running with 1 worker",
+                _ENV_JOBS,
+                env,
+            )
     return 1
 
 
@@ -69,59 +95,125 @@ def run_spec(
     use_cache: bool = True,
     cache: ArtifactCache | None = None,
     instrument: SimInstrument | None = None,
+    retry: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
+    first_attempt: int = 1,
 ) -> JobResult:
-    """Execute one spec: cache lookup → backend run → cache store.
+    """Execute one spec: cache lookup → backend run (with retry) → store.
 
     Never raises for job-level errors; they come back as a failed
-    :class:`JobResult`.
+    :class:`JobResult`.  Transient failures (see
+    :func:`~repro.runtime.retry.classify_error`) are retried in-process
+    up to ``retry.max_attempts`` total attempts with deterministic
+    backoff; ``first_attempt`` offsets the attempt numbering when the
+    executor resubmits a job whose earlier attempts died with their
+    worker process.
 
     With ``instrument`` the cache is bypassed entirely — a trace only
     exists if the simulator actually runs — and backends exposing
     ``run_instrumented`` receive the hooks (others run normally).
     """
     cache = cache if cache is not None else default_cache()
+    policy = retry if retry is not None else DEFAULT_RETRY
+    plan = faults if faults is not None else active_fault_plan()
     key = spec.cache_key()
+    label = spec.label()
     if use_cache and instrument is None:
         hit, value = cache.lookup(_JOB_KIND, key)
         if hit and isinstance(value, JobResult):
-            _log.debug("cache hit %s", spec.label())
+            _log.debug("cache hit %s", label)
             return value.as_cached()
-    _log.debug("start %s", spec.label())
-    start = time.perf_counter()
-    try:
-        backend = get_backend(spec.backend)
-        instrumented_run = (
-            getattr(backend, "run_instrumented", None)
-            if instrument is not None
-            else None
-        )
-        if instrumented_run is not None:
-            result = instrumented_run(spec, instrument)
-        else:
-            result = backend.run(spec)
-    except Exception as exc:  # noqa: BLE001 - failure isolation by design
-        wall = time.perf_counter() - start
-        _log.warning("failed %s after %.3fs: %s", spec.label(), wall, exc)
-        return failed_result(spec, exc, wall_seconds=wall)
+    _log.debug("start %s", label)
+    attempt = first_attempt
+    total_start = time.perf_counter()
+    while True:
+        start = time.perf_counter()
+        try:
+            apply_pre_run_faults(plan, label, attempt)
+            backend = get_backend(spec.backend)
+            instrumented_run = (
+                getattr(backend, "run_instrumented", None)
+                if instrument is not None
+                else None
+            )
+            if instrumented_run is not None:
+                result = instrumented_run(spec, instrument)
+            else:
+                result = backend.run(spec)
+        except Exception as exc:  # noqa: BLE001 - failure isolation by design
+            wall = time.perf_counter() - start
+            if policy.should_retry(exc, attempt):
+                delay = policy.delay_s(attempt, token=label)
+                _log.warning(
+                    "transient failure %s attempt %d (%s: %s); "
+                    "retrying in %.3fs",
+                    label,
+                    attempt,
+                    type(exc).__name__,
+                    exc,
+                    delay,
+                )
+                time.sleep(delay)
+                attempt += 1
+                continue
+            _log.warning(
+                "failed %s after %.3fs on attempt %d: %s",
+                label,
+                wall,
+                attempt,
+                exc,
+            )
+            return failed_result(
+                spec,
+                exc,
+                wall_seconds=time.perf_counter() - total_start,
+                retries=attempt - 1,
+            )
+        break
     from dataclasses import replace
 
-    result = replace(result, cache_key=cache.digest(key))
+    result = replace(
+        result, cache_key=cache.digest(key), retries=attempt - 1
+    )
     if use_cache and instrument is None and result.ok:
         cache.store(_JOB_KIND, key, result)
-    _log.debug("finish %s in %.3fs", spec.label(), result.wall_seconds)
+        apply_cache_corruption(plan, cache, _JOB_KIND, key, label, attempt)
+    _log.debug("finish %s in %.3fs", label, result.wall_seconds)
     return result
 
 
 def _pool_worker(
-    spec: JobSpec, use_cache: bool, cache_root: str, cache_use_disk: bool
+    spec: JobSpec,
+    use_cache: bool,
+    cache_root: str,
+    cache_use_disk: bool,
+    retry: RetryPolicy,
+    faults: FaultPlan,
+    first_attempt: int,
 ) -> JobResult:
     """Top-level (picklable) entry point for pool workers.
 
     Reconstructs the parent's cache from its root so job results land in
-    the same store the parent (and future runs) will read.
+    the same store the parent (and future runs) will read.  The retry
+    policy and fault plan ride along as frozen values; ``first_attempt``
+    keeps attempt numbering monotonic across worker deaths.
     """
     cache = ArtifactCache(root=Path(cache_root), use_disk=cache_use_disk)
-    return run_spec(spec, use_cache=use_cache, cache=cache)
+    return run_spec(
+        spec,
+        use_cache=use_cache,
+        cache=cache,
+        retry=retry,
+        faults=faults,
+        first_attempt=first_attempt,
+    )
+
+
+def _reap_pool(pool: _futures.ProcessPoolExecutor) -> None:
+    """Shut a pool down without waiting, terminating its processes."""
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in list((getattr(pool, "_processes", None) or {}).values()):
+        proc.terminate()
 
 
 class Executor:
@@ -134,12 +226,18 @@ class Executor:
         use_cache: bool = True,
         cache: ArtifactCache | None = None,
         tracer: Tracer | None = None,
+        retry: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
+        ledger: RunLedger | None = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.timeout_s = timeout_s
         self.use_cache = use_cache
         self.cache = cache if cache is not None else default_cache()
         self.tracer = tracer
+        self.retry = retry if retry is not None else DEFAULT_RETRY
+        self.faults = faults if faults is not None else active_fault_plan()
+        self.ledger = ledger
 
     def _trace_result(self, result: JobResult) -> None:
         tracer = self.tracer
@@ -152,6 +250,7 @@ class Executor:
             "graph": result.spec.graph_name,
             "ok": result.ok,
             "cached": result.cached,
+            "retries": result.retries,
         }
         if result.error is not None:
             args["error"] = result.error
@@ -176,6 +275,20 @@ class Executor:
                 **args,
             )
 
+    def _trace_retry(self, spec: JobSpec, attempt: int, error: str) -> None:
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        tracer.instant(
+            f"retry {spec.label()}",
+            CATEGORY_EXECUTOR,
+            time.perf_counter() * 1e6,
+            PID_EXECUTOR,
+            0,
+            attempt=attempt,
+            error=error,
+        )
+
     def run(
         self,
         specs: Sequence[JobSpec],
@@ -194,87 +307,203 @@ class Executor:
         def note(result: JobResult, index: int) -> None:
             results[index] = result
             self._trace_result(result)
+            if self.ledger is not None:
+                self.ledger.job_finished(result)
             if progress is not None:
                 progress(result, index, total)
 
-        if instrument is not None:
-            for index, spec in enumerate(specs):
-                note(
-                    run_spec(spec, False, self.cache, instrument=instrument),
-                    index,
-                )
-            return [r for r in results if r is not None]
+        def ledger_start(index: int, attempt: int) -> None:
+            if self.ledger is not None:
+                self.ledger.job_started(specs[index], attempt)
 
-        pending: list[int] = []
-        for index, spec in enumerate(specs):
-            if self.use_cache:
-                hit, value = self.cache.lookup(_JOB_KIND, spec.cache_key())
-                if hit and isinstance(value, JobResult):
-                    _log.debug("cache hit %s", spec.label())
-                    note(value.as_cached(), index)
-                    continue
-            pending.append(index)
+        if self.ledger is not None:
+            self.ledger.sweep_started(total)
 
-        if not pending:
-            return [r for r in results if r is not None]
-
-        solo_without_timeout = len(pending) == 1 and self.timeout_s is None
-        if self.jobs <= 1 or solo_without_timeout:
-            for index in pending:
-                note(
-                    run_spec(specs[index], self.use_cache, self.cache), index
-                )
-            return [r for r in results if r is not None]
-
-        workers = min(self.jobs, len(pending))
-        timed_out = False
-        pool = _futures.ProcessPoolExecutor(max_workers=workers)
         try:
-            submitted = [
-                (
-                    index,
-                    pool.submit(
-                        _pool_worker,
-                        specs[index],
-                        self.use_cache,
-                        str(self.cache.root),
-                        self.cache.use_disk,
-                    ),
-                )
-                for index in pending
-            ]
-            for index, future in submitted:
-                spec = specs[index]
-                try:
-                    result = future.result(timeout=self.timeout_s)
-                except _futures.TimeoutError:
-                    # Queue wait counts: a job starved behind a stuck
-                    # sibling times out too, rather than blocking forever.
-                    future.cancel()
-                    timed_out = True
+            if instrument is not None:
+                for index, spec in enumerate(specs):
+                    ledger_start(index, 1)
                     note(
-                        failed_result(
+                        run_spec(
                             spec,
-                            f"TimeoutError: job exceeded {self.timeout_s}s",
+                            False,
+                            self.cache,
+                            instrument=instrument,
+                            retry=self.retry,
+                            faults=self.faults,
                         ),
                         index,
                     )
-                    continue
-                except Exception as exc:  # pool/pickling breakage
-                    note(failed_result(spec, exc), index)
-                    continue
-                # Mirror the worker's disk entry into this process's memory
-                # tier so later same-process lookups are free.
-                if self.use_cache and result.ok:
-                    self.cache.store(_JOB_KIND, spec.cache_key(), result)
-                note(result, index)
-        finally:
-            if timed_out:
-                # Don't wait on stuck workers; reap them so a hung cell
-                # cannot outlive the sweep.
-                pool.shutdown(wait=False, cancel_futures=True)
-                for proc in list((getattr(pool, "_processes", None) or {}).values()):
-                    proc.terminate()
-            else:
-                pool.shutdown(wait=True)
-        return [r for r in results if r is not None]
+                return [r for r in results if r is not None]
+
+            pending: list[int] = []
+            for index, spec in enumerate(specs):
+                if self.use_cache:
+                    hit, value = self.cache.lookup(_JOB_KIND, spec.cache_key())
+                    if hit and isinstance(value, JobResult):
+                        _log.debug("cache hit %s", spec.label())
+                        note(value.as_cached(), index)
+                        continue
+                pending.append(index)
+
+            if not pending:
+                return [r for r in results if r is not None]
+
+            solo_without_timeout = len(pending) == 1 and self.timeout_s is None
+            if self.jobs <= 1 or solo_without_timeout:
+                for index in pending:
+                    ledger_start(index, 1)
+                    note(
+                        run_spec(
+                            specs[index],
+                            self.use_cache,
+                            self.cache,
+                            retry=self.retry,
+                            faults=self.faults,
+                        ),
+                        index,
+                    )
+                return [r for r in results if r is not None]
+
+            self._run_pool(specs, pending, note, ledger_start)
+            return [r for r in results if r is not None]
+        except KeyboardInterrupt:
+            # Clean shutdown contract: whatever completed is durably in
+            # the ledger; `gramer sweep --resume` picks up from here.
+            if self.ledger is not None:
+                self.ledger.flush()
+            _log.warning("interrupted; ledger flushed, workers terminated")
+            raise
+
+    def _run_pool(
+        self,
+        specs: Sequence[JobSpec],
+        pending: list[int],
+        note: Callable[[JobResult, int], None],
+        ledger_start: Callable[[int, int], None],
+    ) -> None:
+        """Fan ``pending`` out over fresh-pool retry rounds.
+
+        Round semantics: every queued job is submitted to one pool and
+        collected in submission order.  A timed-out or worker-killed job
+        is requeued (while its retry budget lasts) without disturbing
+        siblings still running in the same pool; the pool is reaped —
+        stuck workers terminated — only after all of the round's
+        survivors have been collected, then the next round starts with a
+        brand-new pool.
+        """
+        policy = self.retry
+        attempts: dict[int, int] = {index: 0 for index in pending}
+        queue = list(pending)
+        while queue:
+            workers = min(self.jobs, len(queue))
+            pool = _futures.ProcessPoolExecutor(max_workers=workers)
+            next_queue: list[int] = []
+            pool_dirty = False
+
+            def requeue_or_fail(
+                index: int, error: str, wall: float = 0.0
+            ) -> None:
+                attempts[index] += 1
+                if attempts[index] < policy.max_attempts and is_transient(
+                    error
+                ):
+                    self._trace_retry(specs[index], attempts[index], error)
+                    _log.warning(
+                        "transient pool failure %s attempt %d (%s); "
+                        "will retry in a fresh pool",
+                        specs[index].label(),
+                        attempts[index],
+                        error,
+                    )
+                    next_queue.append(index)
+                else:
+                    note(
+                        failed_result(
+                            specs[index],
+                            error,
+                            wall_seconds=wall,
+                            retries=attempts[index] - 1,
+                        ),
+                        index,
+                    )
+
+            try:
+                submitted = []
+                for index in queue:
+                    ledger_start(index, attempts[index] + 1)
+                    submitted.append(
+                        (
+                            index,
+                            pool.submit(
+                                _pool_worker,
+                                specs[index],
+                                self.use_cache,
+                                str(self.cache.root),
+                                self.cache.use_disk,
+                                policy,
+                                self.faults,
+                                attempts[index] + 1,
+                            ),
+                        )
+                    )
+                for index, future in submitted:
+                    spec = specs[index]
+                    try:
+                        result = future.result(timeout=self.timeout_s)
+                    except _futures.TimeoutError:
+                        # Fail/requeue only this job; siblings already in
+                        # flight keep their workers.  The stuck process is
+                        # reaped when the round ends.
+                        future.cancel()
+                        pool_dirty = True
+                        requeue_or_fail(
+                            index,
+                            f"TimeoutError: job exceeded {self.timeout_s}s",
+                        )
+                        continue
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:  # pool/pickling breakage
+                        if isinstance(exc, _futures.BrokenExecutor):
+                            pool_dirty = True
+                        requeue_or_fail(index, f"{type(exc).__name__}: {exc}")
+                        continue
+                    # Mirror the worker's disk entry into this process's
+                    # memory tier so later same-process lookups are free.
+                    attempts[index] = result.retries + 1
+                    if self.use_cache and result.ok:
+                        key = spec.cache_key()
+                        self.cache.store(_JOB_KIND, key, result)
+                        apply_cache_corruption(
+                            self.faults,
+                            self.cache,
+                            _JOB_KIND,
+                            key,
+                            spec.label(),
+                            attempts[index],
+                        )
+                    note(result, index)
+            except KeyboardInterrupt:
+                _reap_pool(pool)
+                raise
+            finally:
+                if pool_dirty:
+                    # Don't wait on stuck workers; reap them so a hung
+                    # cell cannot outlive its round.
+                    _reap_pool(pool)
+                else:
+                    pool.shutdown(wait=True)
+
+            if next_queue:
+                delay = max(
+                    policy.delay_s(attempts[i], token=specs[i].label())
+                    for i in next_queue
+                )
+                _log.warning(
+                    "retry round: %d job(s) resubmitted after %.3fs backoff",
+                    len(next_queue),
+                    delay,
+                )
+                time.sleep(delay)
+            queue = next_queue

@@ -1,0 +1,246 @@
+"""Crash-safe run ledger: an append-only JSONL journal of sweep progress.
+
+Every job the :class:`~repro.runtime.executor.Executor` touches leaves two
+records in the ledger — a ``start`` line when the attempt is handed to a
+worker and a ``finish`` line when its outcome is known — each a single
+JSON object on its own line.  Lines are written with one ``write()`` call
+on an append-mode handle (atomic at the OS level for sane line sizes) and
+``finish`` records are fsync'd, so a crash, OOM kill, or ^C loses at most
+the in-flight attempt, never completed history.
+
+Jobs are keyed by their **spec digest** (:func:`spec_digest` — the stable
+content hash of the spec, independent of cache versioning), which is what
+makes resumption safe: ``gramer sweep --resume <ledger>`` rebuilds the
+same spec grid, skips every digest the ledger shows as ``ok``, and re-runs
+failed or interrupted (started-but-never-finished) cells.  The ``finish``
+record carries enough of the outcome (modeled seconds, energy, system,
+retries) to render resumed cells in reports without recomputing them.
+
+A truncated final line — the signature of a crash mid-write — is tolerated
+on load and reported, not fatal.  See ``docs/resilience.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, IO, Iterator, Mapping
+
+from repro.obs.log import get_logger
+
+from .cache import stable_hash
+from .spec import JobResult, JobSpec
+
+__all__ = [
+    "LEDGER_VERSION",
+    "LedgerEntry",
+    "LedgerState",
+    "RunLedger",
+    "load_ledger",
+    "spec_digest",
+]
+
+LEDGER_VERSION = 1
+
+_log = get_logger("runtime.ledger")
+
+
+def spec_digest(spec: JobSpec) -> str:
+    """Stable content address of a spec (independent of cache version)."""
+    return stable_hash(asdict(spec))
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """The last known outcome of one spec digest."""
+
+    digest: str
+    label: str
+    status: str  # "ok" | "failed" | "started"
+    retries: int = 0
+    wall_seconds: float = 0.0
+    seconds: float | None = None
+    energy_j: float | None = None
+    system: str = ""
+    error: str | None = None
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass
+class LedgerState:
+    """Parsed view of a ledger file: final status per digest."""
+
+    entries: dict[str, LedgerEntry] = field(default_factory=dict)
+    attempts: dict[str, int] = field(default_factory=dict)
+    truncated_lines: int = 0
+
+    def completed_digests(self) -> set[str]:
+        return {d for d, e in self.entries.items() if e.completed}
+
+    def entry_for(self, spec: JobSpec) -> LedgerEntry | None:
+        return self.entries.get(spec_digest(spec))
+
+    def is_completed(self, spec: JobSpec) -> bool:
+        entry = self.entry_for(spec)
+        return entry is not None and entry.completed
+
+
+class RunLedger:
+    """Append-only journal handle for one sweep.
+
+    The file is opened lazily on the first record and kept open for the
+    run; ``flush()`` fsyncs whatever has been written (called on every
+    ``finish`` record and on interrupt shutdown).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle: IO[str] | None = None
+
+    # -- low-level record plumbing ------------------------------------------
+
+    def _open(self) -> IO[str]:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def _append(self, record: Mapping[str, Any], sync: bool = False) -> None:
+        line = json.dumps(dict(record), sort_keys=True, default=str)
+        handle = self._open()
+        handle.write(line + "\n")  # one write call: the line lands whole
+        handle.flush()
+        if sync:
+            os.fsync(handle.fileno())
+
+    def flush(self) -> None:
+        """Force everything written so far onto disk."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        self.flush()
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunLedger":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- event records ------------------------------------------------------
+
+    def sweep_started(self, total: int, note: str = "") -> None:
+        """Header record: a new executor run over ``total`` specs began."""
+        self._append(
+            {
+                "event": "sweep_start",
+                "ledger_version": LEDGER_VERSION,
+                "total": total,
+                "note": note,
+            },
+            sync=True,
+        )
+
+    def job_started(self, spec: JobSpec, attempt: int) -> None:
+        self._append(
+            {
+                "event": "start",
+                "digest": spec_digest(spec),
+                "label": spec.label(),
+                "attempt": attempt,
+            }
+        )
+
+    def job_finished(self, result: JobResult) -> None:
+        """Durable outcome record (fsync'd): this cell never re-runs."""
+        self._append(
+            {
+                "event": "finish",
+                "digest": spec_digest(result.spec),
+                "label": result.spec.label(),
+                "status": "ok" if result.ok else "failed",
+                "retries": result.retries,
+                "wall_seconds": result.wall_seconds,
+                "seconds": result.seconds,
+                "energy_j": result.energy_j,
+                "system": result.system,
+                "error": result.error,
+                "cached": result.cached,
+            },
+            sync=True,
+        )
+
+
+def _iter_records(path: Path) -> Iterator[tuple[dict[str, Any] | None, str]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            stripped = raw.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError:
+                yield None, stripped
+                continue
+            if isinstance(record, dict):
+                yield record, stripped
+            else:
+                yield None, stripped
+
+
+def load_ledger(path: str | Path) -> LedgerState:
+    """Replay a ledger file into its final per-digest state.
+
+    Later records win (a re-run overwrites an earlier failure).  Torn or
+    garbage lines — a crash mid-write — are counted and skipped, never
+    fatal: the matching job simply reads as not-completed and re-runs.
+    """
+    path = Path(path)
+    state = LedgerState()
+    if not path.exists():
+        return state
+    for record, raw in _iter_records(path):
+        if record is None:
+            state.truncated_lines += 1
+            _log.warning(
+                "ledger %s: skipping torn/garbage line %r", path, raw[:80]
+            )
+            continue
+        event = record.get("event")
+        digest = record.get("digest")
+        if event == "start" and isinstance(digest, str):
+            state.attempts[digest] = state.attempts.get(digest, 0) + 1
+            if digest not in state.entries or not state.entries[digest].completed:
+                state.entries[digest] = LedgerEntry(
+                    digest=digest,
+                    label=str(record.get("label", "")),
+                    status="started",
+                )
+        elif event == "finish" and isinstance(digest, str):
+            seconds = record.get("seconds")
+            energy = record.get("energy_j")
+            state.entries[digest] = LedgerEntry(
+                digest=digest,
+                label=str(record.get("label", "")),
+                status=str(record.get("status", "failed")),
+                retries=int(record.get("retries", 0) or 0),
+                wall_seconds=float(record.get("wall_seconds", 0.0) or 0.0),
+                seconds=float(seconds) if seconds is not None else None,
+                energy_j=float(energy) if energy is not None else None,
+                system=str(record.get("system", "")),
+                error=(
+                    str(record["error"])
+                    if record.get("error") is not None
+                    else None
+                ),
+            )
+    return state

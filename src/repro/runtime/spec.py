@@ -128,6 +128,11 @@ class JobResult:
     and produced the paper's N/A cell.  ``detail`` mirrors the legacy
     ``CellResult.detail`` payload so migrated harness callers see
     byte-identical data.
+
+    ``retries`` counts the *failed attempts that preceded this outcome*
+    (0 = first try) across both in-process retries and executor-level
+    resubmissions after a worker death or timeout; like ``wall_seconds``
+    it is host provenance, excluded from :meth:`fingerprint`.
     """
 
     spec: JobSpec
@@ -140,13 +145,15 @@ class JobResult:
     error: str | None = None
     cached: bool = False
     cache_key: str = ""
+    retries: int = 0
 
     def fingerprint(self) -> str:
         """Canonical JSON of every deterministic field.
 
-        Excludes host wall time and cache provenance (``wall_seconds``,
-        ``cached``) — the fields allowed to differ between a fresh run, a
-        cached replay, and different ``--jobs`` fan-outs.
+        Excludes host wall time, cache provenance, and retry counts
+        (``wall_seconds``, ``cached``, ``retries``) — the fields allowed
+        to differ between a fresh run, a cached replay, a fault-recovered
+        run, and different ``--jobs`` fan-outs.
         """
         payload: dict[str, Any] = {
             "spec": asdict(self.spec),
@@ -167,7 +174,10 @@ class JobResult:
 
 
 def failed_result(
-    spec: JobSpec, error: BaseException | str, wall_seconds: float = 0.0
+    spec: JobSpec,
+    error: BaseException | str,
+    wall_seconds: float = 0.0,
+    retries: int = 0,
 ) -> JobResult:
     """A failure cell: the job died but the sweep carries on."""
     if isinstance(error, BaseException):
@@ -185,6 +195,7 @@ def failed_result(
         detail={"error_type": kind},
         wall_seconds=wall_seconds,
         error=message,
+        retries=retries,
     )
 
 

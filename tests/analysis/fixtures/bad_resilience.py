@@ -1,0 +1,64 @@
+"""Fixture: resilience violations (GRM8xx)."""
+
+import logging
+
+logger = logging.getLogger("fixture")
+
+
+def swallow_bare(path: str) -> str | None:
+    try:
+        return open(path).read()
+    except:  # noqa: E722  GRM801: bare except, silent pass
+        pass
+
+
+def swallow_exception(value: str) -> int:
+    try:
+        return int(value)
+    except Exception:  # GRM801: broad type, nothing handled
+        pass
+    return 0
+
+
+def swallow_base_exception() -> None:
+    try:
+        raise RuntimeError("boom")
+    except BaseException:  # GRM801: broadest possible, body is `...`
+        ...
+
+
+def swallow_tuple(value: str) -> int:
+    try:
+        return int(value)
+    except (ValueError, Exception):  # GRM801: tuple containing Exception
+        pass
+    return 0
+
+
+def narrow_pass_allowed(path: str) -> None:
+    try:
+        open(path)
+    except OSError:  # allowed: narrow, sanctioned best-effort degradation
+        pass
+
+
+def broad_but_logged(value: str) -> int:
+    try:
+        return int(value)
+    except Exception as exc:  # allowed: the failure is surfaced
+        logger.warning("bad value %r: %s", value, exc)
+        return 0
+
+
+def broad_but_reraised(value: str) -> int:
+    try:
+        return int(value)
+    except Exception as exc:  # allowed: re-raised with context
+        raise ValueError(f"could not parse {value!r}") from exc
+
+
+def broad_with_fallback_work(value: str) -> int:
+    try:
+        return int(value)
+    except Exception:  # allowed (conservative scope): body does real work
+        return len(value)

@@ -18,6 +18,7 @@ CORPUS = {
     "bad_crossproc.py": {"GRM501"},
     "bad_observability.py": {"GRM601"},
     "bad_engine_selection.py": {"GRM701"},
+    "bad_resilience.py": {"GRM801"},
 }
 
 
@@ -99,6 +100,19 @@ class TestAllowedIdioms:
         )
         flagged = {f.line for f in check_paths([FIXTURES / "bad_crossproc.py"])}
         assert lineno not in flagged
+
+    def test_handled_broad_excepts_allowed(self):
+        """Narrow-pass, logged, re-raised, and working handlers pass GRM801."""
+        source = (FIXTURES / "bad_resilience.py").read_text()
+        allowed = [
+            i
+            for i, line in enumerate(source.splitlines(), start=1)
+            if "# allowed" in line
+        ]
+        assert allowed  # the fixture documents its sanctioned idioms
+        flagged = self._lines("bad_resilience.py", "GRM801")
+        assert not flagged & set(allowed)
+        assert len(flagged) == 4  # exactly the four swallowing handlers
 
 
 class TestLiveTree:

@@ -1,10 +1,12 @@
 """The content-addressed artifact cache."""
 
+import hashlib
 import pickle
 
 import pytest
 
-from repro.runtime.cache import ArtifactCache, stable_hash
+from repro.runtime.cache import CACHE_VERSION, ArtifactCache, stable_hash
+from repro.runtime.chaos import corrupt_entry
 
 
 class TestStableHash:
@@ -82,23 +84,111 @@ class TestArtifactCache:
         cache = ArtifactCache(root=tmp_path)
         cache.store("k", {"a": 1}, "v")
         cache.clear_memory()
-        path = cache._path("k", cache.digest({"a": 1}))
+        path = cache.entry_path("k", {"a": 1})
         path.write_bytes(b"not a pickle")
         hit, _ = cache.lookup("k", {"a": 1})
         assert not hit
-        assert cache.stats.disk_errors == 1
+        assert cache.stats.quarantined == 1
+        assert not path.exists()  # moved aside, not left to fail again
 
-    def test_disk_entries_are_plain_pickles(self, tmp_path):
+    def test_disk_entries_are_checksummed_envelopes(self, tmp_path):
         cache = ArtifactCache(root=tmp_path)
         cache.store("k", {"a": 1}, [1, 2])
-        path = cache._path("k", cache.digest({"a": 1}))
-        assert pickle.loads(path.read_bytes()) == [1, 2]
+        envelope = pickle.loads(cache.entry_path("k", {"a": 1}).read_bytes())
+        assert envelope["cache_version"] == CACHE_VERSION
+        payload = envelope["payload"]
+        assert hashlib.sha256(payload).hexdigest() == envelope["sha256"]
+        assert pickle.loads(payload) == [1, 2]
 
     def test_version_salt_changes_address(self, tmp_path, monkeypatch):
         cache = ArtifactCache(root=tmp_path)
         before = cache.digest({"a": 1})
-        monkeypatch.setattr("repro.runtime.cache.CACHE_VERSION", 2)
+        monkeypatch.setattr(
+            "repro.runtime.cache.CACHE_VERSION", CACHE_VERSION + 1
+        )
         assert cache.digest({"a": 1}) != before
+
+
+class TestCacheIntegrity:
+    """Corruption degrades to miss + quarantine — never exceptions or garbage.
+
+    See docs/resilience.md: every on-disk entry is a checksummed envelope,
+    verified on read; anything that fails verification is moved to
+    ``<root>/quarantine/`` and counted in ``CacheStats.quarantined``.
+    """
+
+    KEY = {"a": 1}
+    VALUE = {"payload": [1, 2, 3]}
+
+    def _seeded(self, root):
+        cache = ArtifactCache(root=root)
+        cache.store("k", self.KEY, self.VALUE)
+        cache.clear_memory()
+        return cache, cache.entry_path("k", self.KEY)
+
+    def _assert_quarantined(self, cache, path):
+        hit, value = cache.lookup("k", self.KEY)
+        assert not hit and value is None
+        assert cache.stats.quarantined == 1
+        assert cache.stats.misses == 1
+        assert not path.exists()
+        quarantine = cache.root / "quarantine"
+        assert len(list(quarantine.iterdir())) == 1
+        # The slot is usable again: a recompute stores and replays cleanly.
+        cache.store("k", self.KEY, self.VALUE)
+        cache.clear_memory()
+        hit, value = cache.lookup("k", self.KEY)
+        assert hit and value == self.VALUE
+        assert cache.stats.quarantined == 1  # no new quarantine
+
+    def test_truncated_entry(self, tmp_path):
+        cache, path = self._seeded(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        self._assert_quarantined(cache, path)
+
+    def test_bit_flipped_payload(self, tmp_path):
+        cache, path = self._seeded(tmp_path)
+        assert corrupt_entry(cache, "k", self.KEY)
+        self._assert_quarantined(cache, path)
+
+    def test_version_skew_entry(self, tmp_path):
+        cache, path = self._seeded(tmp_path)
+        payload = pickle.dumps(self.VALUE)
+        stale = {
+            "cache_version": CACHE_VERSION - 1,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "payload": payload,
+        }
+        path.write_bytes(pickle.dumps(stale))
+        self._assert_quarantined(cache, path)
+
+    def test_pre_envelope_plain_pickle(self, tmp_path):
+        """A bare pickle from before the envelope format reads as skew."""
+        cache, path = self._seeded(tmp_path)
+        path.write_bytes(pickle.dumps(self.VALUE))
+        self._assert_quarantined(cache, path)
+
+    def test_checksum_mismatch_with_valid_pickles(self, tmp_path):
+        """A decodable envelope whose checksum lies still quarantines."""
+        cache, path = self._seeded(tmp_path)
+        payload = pickle.dumps(self.VALUE)
+        lying = {
+            "cache_version": CACHE_VERSION,
+            "sha256": "0" * 64,
+            "payload": payload,
+        }
+        path.write_bytes(pickle.dumps(lying))
+        self._assert_quarantined(cache, path)
+
+    def test_memory_tier_not_affected_by_disk_corruption(self, tmp_path):
+        cache = ArtifactCache(root=tmp_path)
+        cache.store("k", self.KEY, self.VALUE)
+        path = cache.entry_path("k", self.KEY)
+        path.write_bytes(b"garbage")
+        hit, value = cache.lookup("k", self.KEY)  # memory tier still good
+        assert hit and value == self.VALUE
+        assert cache.stats.quarantined == 0
 
 
 class TestDatasetMemoization:

@@ -1,12 +1,18 @@
 """Executor fan-out: determinism, caching, and failure isolation."""
 
+import logging
+import time
+
 from repro.runtime import (
     ArtifactCache,
     Executor,
+    FaultPlan,
+    FaultSpec,
     make_jobspec,
     resolve_jobs,
     run_spec,
 )
+from repro.runtime.retry import NO_RETRY, RetryPolicy
 
 TINY_GRID = [
     make_jobspec(backend, "3-CF", dataset=graph, scale="tiny")
@@ -34,6 +40,17 @@ class TestResolveJobs:
         monkeypatch.delenv("GRAMER_JOBS")
         assert resolve_jobs() == 1
         assert resolve_jobs(0) == 1
+
+    def test_garbage_env_value_is_warned_about(self, monkeypatch, caplog):
+        """A typo'd GRAMER_JOBS must not silently serialize the sweep."""
+        monkeypatch.setenv("GRAMER_JOBS", "many")
+        with caplog.at_level(logging.WARNING, logger="gramer.runtime"):
+            assert resolve_jobs() == 1
+        messages = [record.getMessage() for record in caplog.records]
+        assert any(
+            "GRAMER_JOBS" in message and "many" in message
+            for message in messages
+        )
 
 
 class TestDeterminism:
@@ -110,6 +127,46 @@ class TestFailureIsolation:
         replay = run_spec(spec, cache=cache)
         assert not replay.cached
 
+    def test_one_hung_job_does_not_reap_healthy_siblings(self, tmp_path):
+        """Regression: a single timeout used to cancel the whole pool.
+
+        One job hangs far past the timeout while two siblings run
+        normally in the same pool.  The siblings must complete on their
+        first attempt; only the hung job is failed/retried, and the stuck
+        worker is reaped at round end (wall time stays far below the
+        injected hang).
+        """
+        hang = make_jobspec("gramer", "3-CF", dataset="citeseer", scale="tiny")
+        healthy = [
+            make_jobspec("fractal", "3-CF", dataset="citeseer", scale="tiny"),
+            make_jobspec("rstream", "3-CF", dataset="citeseer", scale="tiny"),
+        ]
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    kind="hang",
+                    match="gramer:3-CF@citeseer",
+                    attempt=1,
+                    hang_s=60.0,
+                ),
+            )
+        )
+        started = time.perf_counter()
+        results = Executor(
+            jobs=3,
+            timeout_s=5.0,
+            cache=ArtifactCache(root=tmp_path),
+            retry=RetryPolicy(
+                max_attempts=2, base_delay_s=0.01, max_delay_s=0.02
+            ),
+            faults=plan,
+        ).run([hang] + healthy)
+        elapsed = time.perf_counter() - started
+        assert [r.ok for r in results] == [True, True, True]
+        assert results[0].retries == 1  # timed out once, then recovered
+        assert results[1].retries == 0 and results[2].retries == 0
+        assert elapsed < 45  # never waited out the 60s hang
+
 
 class TestBackendResults:
     def test_gramer_detail_matches_legacy_cell_shape(self, tmp_path):
@@ -155,9 +212,11 @@ class TestBackendResults:
             jobs=2,
             timeout_s=0.01,
             cache=ArtifactCache(root=tmp_path),
+            retry=NO_RETRY,  # timeouts are transient; don't retry here
         ).run([heavy])
         assert not results[0].ok
         assert "Timeout" in results[0].error
+        assert results[0].retries == 0
 
 
 class TestVertexRankCache:

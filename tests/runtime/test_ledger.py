@@ -1,0 +1,141 @@
+"""Run ledger: append/replay roundtrip, torn-line tolerance, attempt counts."""
+
+import json
+
+from repro.runtime import (
+    RunLedger,
+    load_ledger,
+    make_jobspec,
+    spec_digest,
+)
+from repro.runtime.spec import JobResult, failed_result
+
+SPEC_A = make_jobspec("gramer", "3-CF", dataset="citeseer", scale="tiny")
+SPEC_B = make_jobspec("gramer", "3-MC", dataset="wiki-vote", scale="tiny")
+
+
+def ok_result(spec, retries=0):
+    return JobResult(
+        spec=spec,
+        system="GRAMER",
+        ok=True,
+        seconds=1.25,
+        energy_j=0.5,
+        detail={},
+        wall_seconds=0.01,
+        retries=retries,
+    )
+
+
+class TestRoundTrip:
+    def test_empty_or_missing_ledger_loads_empty(self, tmp_path):
+        state = load_ledger(tmp_path / "never-written.jsonl")
+        assert state.entries == {} and state.attempts == {}
+
+    def test_finish_records_replay_to_final_state(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.sweep_started(total=2)
+            ledger.job_started(SPEC_A, attempt=1)
+            ledger.job_finished(ok_result(SPEC_A, retries=1))
+            ledger.job_started(SPEC_B, attempt=1)
+            ledger.job_finished(failed_result(SPEC_B, "ValueError: nope"))
+        state = load_ledger(path)
+        entry_a = state.entry_for(SPEC_A)
+        assert entry_a is not None and entry_a.completed
+        assert entry_a.retries == 1
+        assert entry_a.seconds == 1.25 and entry_a.energy_j == 0.5
+        assert entry_a.system == "GRAMER"
+        entry_b = state.entry_for(SPEC_B)
+        assert entry_b is not None and not entry_b.completed
+        assert entry_b.status == "failed"
+        assert "ValueError" in (entry_b.error or "")
+        assert state.is_completed(SPEC_A) and not state.is_completed(SPEC_B)
+
+    def test_started_but_never_finished_reads_as_incomplete(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.job_started(SPEC_A, attempt=1)
+        state = load_ledger(path)
+        entry = state.entry_for(SPEC_A)
+        assert entry is not None and entry.status == "started"
+        assert not state.is_completed(SPEC_A)
+
+    def test_later_records_win(self, tmp_path):
+        """A re-run (resume) overwrites an earlier failure for the digest."""
+        path = tmp_path / "run.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.job_finished(failed_result(SPEC_A, "TimeoutError: slow"))
+            ledger.job_started(SPEC_A, attempt=2)
+            ledger.job_finished(ok_result(SPEC_A))
+        state = load_ledger(path)
+        assert state.is_completed(SPEC_A)
+
+    def test_attempt_counts_track_start_events(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.job_started(SPEC_A, attempt=1)
+            ledger.job_started(SPEC_A, attempt=2)
+            ledger.job_started(SPEC_B, attempt=1)
+            ledger.job_finished(ok_result(SPEC_A))
+            ledger.job_finished(ok_result(SPEC_B))
+        state = load_ledger(path)
+        assert state.attempts[spec_digest(SPEC_A)] == 2
+        assert state.attempts[spec_digest(SPEC_B)] == 1
+
+
+class TestCrashTolerance:
+    def test_torn_final_line_is_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.job_finished(ok_result(SPEC_A))
+            ledger.job_started(SPEC_B, attempt=1)
+        # Simulate a crash mid-write: chop the last line in half.
+        text = path.read_text()
+        path.write_text(text[: len(text) - 12])
+        state = load_ledger(path)
+        assert state.truncated_lines == 1
+        assert state.is_completed(SPEC_A)  # earlier history survives
+        assert not state.is_completed(SPEC_B)
+
+    def test_garbage_lines_are_counted_and_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.job_finished(ok_result(SPEC_A))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('["a", "list", "record"]\n')
+            handle.write("\n")  # blank lines are simply ignored
+        state = load_ledger(path)
+        assert state.truncated_lines == 2
+        assert state.is_completed(SPEC_A)
+
+    def test_each_record_is_one_complete_json_line(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.sweep_started(total=1)
+            ledger.job_started(SPEC_A, attempt=1)
+            ledger.job_finished(ok_result(SPEC_A))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            record = json.loads(line)  # every line parses standalone
+            assert isinstance(record, dict) and "event" in record
+
+
+class TestDigests:
+    def test_digest_is_stable_and_spec_sensitive(self):
+        assert spec_digest(SPEC_A) == spec_digest(SPEC_A)
+        assert spec_digest(SPEC_A) != spec_digest(SPEC_B)
+
+    def test_append_mode_accumulates_across_handles(self, tmp_path):
+        """Reopening the ledger (a resumed sweep) appends, never truncates."""
+        path = tmp_path / "run.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.job_finished(failed_result(SPEC_A, "OSError: flaky"))
+        with RunLedger(path) as ledger:
+            ledger.job_finished(ok_result(SPEC_A, retries=1))
+        state = load_ledger(path)
+        assert state.is_completed(SPEC_A)
+        entry = state.entry_for(SPEC_A)
+        assert entry is not None and entry.retries == 1

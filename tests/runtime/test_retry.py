@@ -1,0 +1,178 @@
+"""Retry policy: classification, deterministic backoff, run_spec wiring."""
+
+import pickle
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.runtime import (
+    ArtifactCache,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    RetryPolicy,
+    classify_error,
+    make_jobspec,
+    run_spec,
+)
+from repro.runtime.retry import DEFAULT_RETRY, NO_RETRY, PERMANENT, TRANSIENT
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            OSError("disk hiccup"),
+            TimeoutError("too slow"),
+            BrokenProcessPool("worker died"),
+            pickle.PicklingError("unpicklable"),
+            EOFError(),
+            MemoryError(),
+            InjectedFaultError("chaos"),
+            ConnectionResetError(),
+        ],
+    )
+    def test_host_breakage_is_transient(self, error):
+        assert classify_error(error) == TRANSIENT
+
+    @pytest.mark.parametrize(
+        "error",
+        [
+            ValueError("bad config"),
+            AssertionError("invariant broken"),
+            KeyError("unknown backend"),
+            TypeError("wrong arg"),
+            RuntimeError("model error"),
+        ],
+    )
+    def test_job_defects_are_permanent(self, error):
+        assert classify_error(error) == PERMANENT
+
+    def test_string_messages_classify_like_their_type(self):
+        assert classify_error("TimeoutError: job exceeded 5s") == TRANSIENT
+        assert classify_error("BrokenProcessPool: abrupt death") == TRANSIENT
+        assert classify_error("ValueError: unknown scale") == PERMANENT
+        assert (
+            classify_error(
+                "concurrent.futures.process.BrokenProcessPool: x"
+            )
+            == TRANSIENT
+        )
+
+    def test_unknown_types_default_to_permanent(self):
+        class WeirdError(Exception):
+            pass
+
+        assert classify_error(WeirdError()) == PERMANENT
+        assert classify_error("WeirdError: who knows") == PERMANENT
+
+
+class TestRetryPolicy:
+    def test_should_retry_respects_budget_and_class(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(OSError(), 1)
+        assert policy.should_retry(OSError(), 2)
+        assert not policy.should_retry(OSError(), 3)  # budget exhausted
+        assert not policy.should_retry(ValueError(), 1)  # permanent
+
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, max_delay_s=0.5, jitter=0.0
+        )
+        assert policy.delay_s(1) == pytest.approx(0.1)
+        assert policy.delay_s(2) == pytest.approx(0.2)
+        assert policy.delay_s(3) == pytest.approx(0.4)
+        assert policy.delay_s(4) == pytest.approx(0.5)  # capped
+        assert policy.delay_s(9) == pytest.approx(0.5)
+
+    def test_jitter_is_deterministic_and_seeded(self):
+        a = RetryPolicy(seed=1)
+        b = RetryPolicy(seed=1)
+        c = RetryPolicy(seed=2)
+        assert a.delay_s(1, token="job-x") == b.delay_s(1, token="job-x")
+        assert a.delay_s(1, token="job-x") != c.delay_s(1, token="job-x")
+        assert a.delay_s(1, token="job-x") != a.delay_s(1, token="job-y")
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay_s=0.1, jitter=0.5)
+        for attempt in range(1, 5):
+            for token in ("a", "b", "c"):
+                base = min(0.1 * 2 ** (attempt - 1), policy.max_delay_s)
+                delay = policy.delay_s(attempt, token=token)
+                assert 0.5 * base <= delay <= 1.5 * base
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().delay_s(0)
+
+    def test_default_policies_are_picklable(self):
+        for policy in (DEFAULT_RETRY, NO_RETRY):
+            assert pickle.loads(pickle.dumps(policy)) == policy
+
+
+FAST = RetryPolicy(base_delay_s=0.001, max_delay_s=0.002)
+
+
+class TestRunSpecRetry:
+    SPEC = make_jobspec("gramer", "3-CF", dataset="citeseer", scale="tiny")
+
+    def test_transient_fault_recovers_with_identical_result(self, tmp_path):
+        clean = run_spec(self.SPEC, cache=ArtifactCache(root=tmp_path / "a"))
+        plan = FaultPlan(faults=(FaultSpec(kind="raise", attempt=1),))
+        recovered = run_spec(
+            self.SPEC,
+            cache=ArtifactCache(root=tmp_path / "b"),
+            retry=FAST,
+            faults=plan,
+        )
+        assert recovered.ok
+        assert recovered.retries == 1
+        assert recovered.fingerprint() == clean.fingerprint()
+
+    def test_transient_exhaustion_reports_attempts(self, tmp_path):
+        plan = FaultPlan(
+            faults=tuple(
+                FaultSpec(kind="raise", attempt=k) for k in (1, 2, 3)
+            )
+        )
+        result = run_spec(
+            self.SPEC,
+            cache=ArtifactCache(root=tmp_path),
+            retry=FAST,
+            faults=plan,
+        )
+        assert not result.ok
+        assert result.retries == 2  # 3 attempts, all injected failures
+        assert "InjectedFaultError" in result.error
+
+    def test_permanent_failure_never_retried(self, tmp_path):
+        spec = make_jobspec("gramer", "3-CF", dataset="atlantis", scale="tiny")
+        result = run_spec(spec, cache=ArtifactCache(root=tmp_path), retry=FAST)
+        assert not result.ok
+        assert result.retries == 0
+
+    def test_no_retry_policy_fails_on_first_transient(self, tmp_path):
+        plan = FaultPlan(faults=(FaultSpec(kind="raise", attempt=1),))
+        result = run_spec(
+            self.SPEC,
+            cache=ArtifactCache(root=tmp_path),
+            retry=NO_RETRY,
+            faults=plan,
+        )
+        assert not result.ok and result.retries == 0
+
+    def test_first_attempt_offsets_fault_numbering(self, tmp_path):
+        """A resubmitted job (attempt 2) skips faults scripted for attempt 1."""
+        plan = FaultPlan(faults=(FaultSpec(kind="raise", attempt=1),))
+        result = run_spec(
+            self.SPEC,
+            cache=ArtifactCache(root=tmp_path),
+            retry=FAST,
+            faults=plan,
+            first_attempt=2,
+        )
+        assert result.ok and result.retries == 1
