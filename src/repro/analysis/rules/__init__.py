@@ -16,13 +16,16 @@ Importing this package registers every rule with the engine registry in
 * ``engine_selection`` (GRM7xx) — direct ``GramerSimulator`` construction
   bypassing :func:`repro.accel.sim.make_simulator`;
 * ``resilience`` (GRM8xx) — broad exception handlers that swallow errors
-  without re-raise or logging.
+  without re-raise or logging;
+* ``graph_store`` (GRM9xx) — graphs loaded or generated outside the
+  content-addressed :class:`repro.graph.store.GraphStore` path.
 """
 
 from . import (  # noqa: F401  (import-for-registration)
     crossproc,
     determinism,
     engine_selection,
+    graph_store,
     immutability,
     observability,
     purity,

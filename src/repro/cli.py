@@ -12,6 +12,9 @@
     gramer trace 3-CF citeseer --out trace.json
     gramer profile --dataset citeseer --app 3-CF --scale tiny
     gramer datasets
+    gramer graph build --graph edges.txt
+    gramer graph ls
+    gramer graph verify
 
 (``gramer`` is the console script; ``python -m repro.cli`` works too.)
 """
@@ -28,7 +31,6 @@ from repro.accel.sim import (
     AncestorBufferOverflowError,
     make_simulator,
 )
-from repro.graph.io import load_edge_list
 from repro.graph.stats import degree_stats
 from repro.mining.apps import make_app
 from repro.mining.engine import run_dfs
@@ -41,7 +43,12 @@ def _resolve_graph(args, needs_labels: bool):
     from repro.experiments import datasets
 
     if args.graph:
-        return load_edge_list(args.graph)
+        # Through the store: the file is parsed at most once per content,
+        # then every later run memory-maps the materialized artifact.
+        from repro.graph.store import default_graph_store
+
+        store = default_graph_store()
+        return store.open(store.import_edge_list(args.graph))
     if args.dataset:
         if needs_labels:
             return datasets.load_labeled(args.dataset, args.scale)
@@ -436,6 +443,101 @@ def _cmd_check(args) -> None:
     print("gramer check: clean")
 
 
+def _match_digest(store, token: str) -> str:
+    """Resolve a full digest or unique prefix against the store."""
+    digests = store.digests()
+    if token in digests:
+        return token
+    matches = [d for d in digests if d.startswith(token)]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise SystemExit(f"no graph artifact matches {token!r}")
+    raise SystemExit(
+        f"ambiguous digest prefix {token!r} "
+        f"({len(matches)} matches; use more characters)"
+    )
+
+
+def _cmd_graph_build(args) -> None:
+    """Materialize an edge list or dataset proxy into the graph store."""
+    from repro.experiments import datasets
+    from repro.graph.store import default_graph_store
+
+    store = default_graph_store()
+    start = time.perf_counter()
+    if args.graph:
+        digest = store.import_edge_list(args.graph)
+    elif args.dataset:
+        loader = datasets.load_labeled if args.labeled else datasets.load
+        digest = loader(args.dataset, args.scale).content_digest()
+    else:
+        raise SystemExit("specify --graph FILE or --dataset NAME")
+    info = store.info(digest)
+    print(digest)
+    print(
+        f"  |V|={info['num_vertices']:,} |E|={info['num_edges']:,} "
+        f"({info['bytes']:,} bytes) in {time.perf_counter() - start:.2f}s"
+    )
+    print(f"  {info['path']}")
+
+
+def _cmd_graph_info(args) -> None:
+    from repro.graph.store import GraphArtifactError, default_graph_store
+
+    store = default_graph_store()
+    digest = _match_digest(store, args.digest)
+    try:
+        info = store.info(digest)
+    except GraphArtifactError as exc:
+        raise SystemExit(f"gramer graph info: {exc}") from None
+    for key in ("digest", "num_vertices", "num_edges", "bytes",
+                "format_version", "path"):
+        print(f"{key:15s} {info[key]}")
+
+
+def _cmd_graph_verify(args) -> None:
+    """Re-checksum artifacts from disk; quarantine and report failures."""
+    from repro.graph.store import GraphArtifactError, default_graph_store
+
+    store = default_graph_store()
+    targets = args.digests or store.digests()
+    bad = 0
+    for token in targets:
+        digest = _match_digest(store, token)
+        try:
+            info = store.verify(digest)
+        except GraphArtifactError as exc:
+            bad += 1
+            print(f"CORRUPT  {digest[:16]}...  {exc}")
+        else:
+            print(
+                f"ok       {digest[:16]}...  "
+                f"|V|={info['num_vertices']:,} |E|={info['num_edges']:,}"
+            )
+    print(f"{len(targets)} artifact(s) checked, {bad} quarantined")
+    if bad:
+        raise SystemExit(1)
+
+
+def _cmd_graph_ls(args) -> None:
+    from repro.graph.store import GraphArtifactError, default_graph_store
+
+    store = default_graph_store()
+    digests = store.digests()
+    for digest in digests:
+        try:
+            info = store.info(digest)
+        except GraphArtifactError as exc:
+            print(f"{digest[:16]}...  unreadable: {exc}")
+            continue
+        print(
+            f"{digest[:16]}...  |V|={info['num_vertices']:>9,} "
+            f"|E|={info['num_edges']:>11,}  {info['bytes']:>12,} bytes"
+        )
+    print(f"{len(digests)} artifact(s) under {store.root}")
+
+
 def _cmd_datasets(args) -> None:
     from repro.experiments import datasets
 
@@ -588,6 +690,38 @@ def main(argv: list[str] | None = None) -> None:
     ds.add_argument("--scale", default="small",
                     choices=["tiny", "small", "full"])
     ds.set_defaults(func=_cmd_datasets)
+
+    graph_p = sub.add_parser(
+        "graph",
+        help="content-addressed mmap graph store (docs/graph-store.md)",
+    )
+    graph_sub = graph_p.add_subparsers(dest="graph_command", required=True)
+
+    g_build = graph_sub.add_parser(
+        "build", help="materialize an edge list or dataset proxy"
+    )
+    g_build.add_argument("--graph", help="edge-list file to import")
+    g_build.add_argument("--dataset", help="proxy dataset name")
+    g_build.add_argument("--scale", default="small",
+                         choices=["tiny", "small", "full"])
+    g_build.add_argument("--labeled", action="store_true",
+                         help="materialize the FSM-labeled variant")
+    g_build.set_defaults(func=_cmd_graph_build)
+
+    g_info = graph_sub.add_parser("info", help="show one artifact's header")
+    g_info.add_argument("digest", help="content digest (or unique prefix)")
+    g_info.set_defaults(func=_cmd_graph_info)
+
+    g_verify = graph_sub.add_parser(
+        "verify",
+        help="re-checksum artifacts from disk (corrupt ones are quarantined)",
+    )
+    g_verify.add_argument("digests", nargs="*",
+                          help="digests to check (default: all)")
+    g_verify.set_defaults(func=_cmd_graph_verify)
+
+    g_ls = graph_sub.add_parser("ls", help="list materialized artifacts")
+    g_ls.set_defaults(func=_cmd_graph_ls)
 
     args = parser.parse_args(argv)
     args.func(args)

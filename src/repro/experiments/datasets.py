@@ -147,7 +147,7 @@ SMALL_GRAPHS = ["citeseer", "p2p"]
 MEDIUM_GRAPHS = ["astro", "mico"]
 LARGE_GRAPHS = ["patents", "yt", "lj"]
 
-# Bump when the generator recipes above change: the artifact cache addresses
+# Bump when the generator recipes above change: the graph store addresses
 # proxies by (name, scale, salt), not by the builder closures themselves.
 _GENERATOR_SALT = 1
 
@@ -163,26 +163,27 @@ def _graph_key(name: str, scale: str, labeled: bool) -> dict:
 
 
 def load(name: str, scale: str = "small") -> CSRGraph:
-    """Load one proxy graph, memoised through the artifact cache.
+    """Load one proxy graph, materialized through the graph store.
 
-    Repeated calls in one process return the same object (in-memory LRU);
-    across processes — including executor pool workers — the generated
-    graph is reloaded from the disk tier instead of being regenerated.
+    The generator runs at most once per (name, scale, salt): its CSR
+    arrays are written to a content-addressed store artifact, and every
+    load — in this process, in executor pool workers, in later runs —
+    opens that artifact as a read-only memory map sharing OS pages.
+    Repeated calls in one process return the same object.
     """
-    from repro.runtime.cache import default_cache
+    from repro.graph.store import default_graph_store
 
     spec = DATASETS[name]
-    return default_cache().get_or_create(
-        "graph", _graph_key(name, scale, False), lambda: spec.build(scale)
+    return default_graph_store().load(
+        _graph_key(name, scale, False), lambda: spec.build(scale)
     )
 
 
 def load_labeled(name: str, scale: str = "small") -> CSRGraph:
     """Labeled variant (FSM), with :data:`FSM_NUM_LABELS` uniform labels."""
-    from repro.runtime.cache import default_cache
+    from repro.graph.store import default_graph_store
 
-    return default_cache().get_or_create(
-        "graph",
+    return default_graph_store().load(
         _graph_key(name, scale, True),
         lambda: random_labels(load(name, scale), FSM_NUM_LABELS, seed=7),
     )

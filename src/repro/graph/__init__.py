@@ -1,4 +1,4 @@
-"""Graph substrate: CSR storage, generators, IO, statistics, reordering."""
+"""Graph substrate: CSR storage, generators, IO, store, statistics, reordering."""
 
 from .csr import CSRGraph
 from .generators import (
@@ -21,9 +21,21 @@ from .reorder import (
     reorder_by_scores,
 )
 from .stats import DegreeStats, degree_stats, gini_coefficient, top_share
+from .store import (
+    GRAPH_FORMAT_VERSION,
+    GraphArtifactError,
+    GraphStore,
+    default_graph_store,
+    reset_default_graph_store,
+)
 
 __all__ = [
     "CSRGraph",
+    "GRAPH_FORMAT_VERSION",
+    "GraphArtifactError",
+    "GraphStore",
+    "default_graph_store",
+    "reset_default_graph_store",
     "clique",
     "complete_bipartite",
     "cycle",

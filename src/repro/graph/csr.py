@@ -15,6 +15,7 @@ truth for every memory-trace and cache model in the repository:
 
 from __future__ import annotations
 
+import hashlib
 from bisect import bisect_left
 from collections.abc import Iterable, Iterator, Sequence
 
@@ -39,7 +40,7 @@ class CSRGraph:
         zeros, i.e. an unlabeled graph.
     """
 
-    __slots__ = ("offsets", "neighbors", "labels", "_num_edges")
+    __slots__ = ("offsets", "neighbors", "labels", "_num_edges", "_content_digest")
 
     def __init__(
         self,
@@ -47,9 +48,17 @@ class CSRGraph:
         edges: Iterable[tuple[int, int]],
         labels: Sequence[int] | None = None,
     ) -> None:
+        pairs = np.array(list(edges), dtype=np.int64).reshape(-1, 2)
+        self._init_from_pairs(num_vertices, pairs, labels)
+
+    def _init_from_pairs(
+        self,
+        num_vertices: int,
+        pairs: np.ndarray,
+        labels: Sequence[int] | None,
+    ) -> None:
         if num_vertices < 0:
             raise ValueError(f"num_vertices must be >= 0, got {num_vertices}")
-        pairs = np.array(list(edges), dtype=np.int64).reshape(-1, 2)
         if len(pairs):
             if pairs.min() < 0 or pairs.max() >= num_vertices:
                 bad = pairs[
@@ -90,8 +99,28 @@ class CSRGraph:
                     f"labels has length {len(labels)}, expected {num_vertices}"
                 )
             self.labels = np.asarray(labels, dtype=np.int64).copy()
+        self._content_digest: str | None = None
 
     # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_edge_array(
+        cls,
+        num_vertices: int,
+        pairs: np.ndarray,
+        labels: Sequence[int] | None = None,
+    ) -> "CSRGraph":
+        """Build from an ``(E, 2)`` int64 edge array, fully vectorised.
+
+        Same semantics as the main constructor (self loops dropped,
+        duplicates de-duplicated on the canonical encoding, slices sorted)
+        without materialising a Python list of tuples — the path the
+        streaming edge-list parser and the bulk loaders use.
+        """
+        graph = cls.__new__(cls)
+        pairs = np.ascontiguousarray(pairs, dtype=np.int64).reshape(-1, 2)
+        graph._init_from_pairs(num_vertices, pairs, labels)
+        return graph
 
     @classmethod
     def from_arrays(
@@ -100,12 +129,15 @@ class CSRGraph:
         neighbors: np.ndarray,
         labels: Sequence[int] | None = None,
     ) -> "CSRGraph":
-        """Build directly from validated CSR arrays (no copy of topology).
+        """Build directly from validated CSR arrays — zero copy.
 
         The arrays must describe a symmetric, de-duplicated, per-slice-sorted
-        undirected graph; this is checked cheaply (monotone offsets, range of
-        neighbor IDs) but symmetry is trusted.  Use the main constructor when
-        in doubt.
+        undirected graph; instead of re-running the dedup/sort build path
+        this validates invariants (monotone offsets, neighbor ID range) and
+        adopts the arrays as-is — symmetry is trusted.  Memory-mapped inputs
+        (the graph store's artifacts) stay memory-mapped: no array is copied,
+        so N readers of one artifact share OS pages.  Use the main
+        constructor when in doubt.
         """
         graph = cls.__new__(cls)
         offsets = np.asarray(offsets, dtype=np.int64)
@@ -127,7 +159,8 @@ class CSRGraph:
         else:
             if len(labels) != n:
                 raise ValueError(f"labels has length {len(labels)}, expected {n}")
-            graph.labels = np.asarray(labels, dtype=np.int64).copy()
+            graph.labels = np.asarray(labels, dtype=np.int64)
+        graph._content_digest = None
         return graph
 
     # -- basic queries ---------------------------------------------------------
@@ -141,6 +174,25 @@ class CSRGraph:
     def num_edges(self) -> int:
         """Number of undirected edges ``|E|`` (each counted once)."""
         return self._num_edges
+
+    def content_digest(self) -> str:
+        """SHA-256 over the raw CSR arrays — the graph's content address.
+
+        Computed at most once per graph object: the digest is memoized on
+        first use, and graphs opened from the :class:`~repro.graph.store.
+        GraphStore` arrive with it pre-set from the artifact header, so
+        store-backed graphs are addressed without ever re-hashing their
+        (potentially huge, memory-mapped) arrays.
+        """
+        digest = getattr(self, "_content_digest", None)
+        if digest is None:
+            hasher = hashlib.sha256()
+            hasher.update(np.ascontiguousarray(self.offsets).tobytes())
+            hasher.update(np.ascontiguousarray(self.neighbors).tobytes())
+            hasher.update(np.ascontiguousarray(self.labels).tobytes())
+            digest = hasher.hexdigest()
+            self._content_digest = digest
+        return digest
 
     def degree(self, v: int) -> int:
         """Degree of vertex ``v``."""

@@ -1,0 +1,529 @@
+"""Content-addressed, memory-mapped graph store.
+
+The paper's whole locality argument rests on the CSR arrays being a
+compact physical layout the accelerator can address directly (§VI-A); this
+module gives the *reproduction* the same property.  A graph — whether a
+registry proxy generator or a parsed SNAP edge list — is **materialized
+once** into a single binary artifact holding the raw ``offsets`` /
+``neighbors`` / ``labels`` arrays, and every later consumer opens it as an
+immutable :class:`~repro.graph.csr.CSRGraph` backed by read-only
+:func:`numpy.memmap` views.  N processes opening the same artifact share
+one set of OS page-cache pages instead of each pickling, re-parsing, or
+regenerating the graph.
+
+Addressing is by **content digest**: SHA-256 over the raw CSR array bytes
+(``offsets`` then ``neighbors`` then ``labels``), the exact digest
+:func:`CSRGraph.content_digest` computes — so the store, the ON1-rank
+cache, and job-result keys all agree on one address per graph, and graphs
+opened from the store carry their digest with them (no re-hashing, ever).
+
+Artifact format (``<cache_root>/graphstore/<digest>.graph``)::
+
+    magic "GRMGRAPH" | header_len u64le | data_start u64le   (24 bytes)
+    header JSON (canonical, self-checksummed)                (header_len)
+    zero padding to data_start (64-byte aligned)
+    offsets   int64le[]   \\
+    neighbors int64le[]    } each 64-byte aligned, per-array SHA-256
+    labels    int64le[]   /    recorded in the header
+
+Integrity follows the artifact cache's CACHE_VERSION=2 convention
+(docs/resilience.md): the header records a format version, a self
+checksum, and one SHA-256 per array; anything that fails verification —
+truncation, a bit flip, version skew — is **quarantined** (moved to
+``<cache_root>/quarantine/``) and reported as missing so callers rebuild.
+Corruption can never surface as a wrong graph.
+
+Named sources (dataset proxies, imported edge lists) are bound to digests
+through tiny ``refs/`` files — ``stable_hash(key) -> digest`` — so
+:meth:`GraphStore.load` is "look up the ref, open the artifact, else build
+once and materialize".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.obs.log import get_logger
+
+from .csr import CSRGraph
+from .io import load_edge_list
+
+__all__ = [
+    "GRAPH_FORMAT_VERSION",
+    "GraphArtifactError",
+    "GraphStore",
+    "default_graph_store",
+    "reset_default_graph_store",
+]
+
+#: Bump to invalidate every stored graph artifact when the layout changes.
+GRAPH_FORMAT_VERSION = 1
+
+_MAGIC = b"GRMGRAPH"
+_PREAMBLE_LEN = 24  # magic + header_len + data_start
+_ALIGN = 64
+_MAX_HEADER_BYTES = 1 << 20
+_ARRAY_ORDER = ("offsets", "neighbors", "labels")
+_SUFFIX = ".graph"
+_STORE_DIR = "graphstore"
+_REFS_DIR = "refs"
+_QUARANTINE_DIR = "quarantine"
+
+_log = get_logger("graph.store")
+
+
+class GraphArtifactError(Exception):
+    """A graph artifact is missing, unreadable, or failed verification."""
+
+
+class _ArtifactCorrupt(Exception):
+    """Internal: artifact failed integrity verification (quarantine it)."""
+
+
+def _resolve_cache_root() -> Path:
+    # Lazy import: ``repro.runtime`` sits *above* the graph layer (its
+    # backends import this module), so the root/hash helpers are pulled in
+    # at call time to keep imports acyclic.
+    from repro.runtime.cache import default_cache_root
+
+    return default_cache_root()
+
+
+def _stable_key_hash(key: Any) -> str:
+    from repro.runtime.cache import stable_hash
+
+    return stable_hash({"graphstore": key, "format": GRAPH_FORMAT_VERSION})
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _header_self_digest(header: dict[str, Any]) -> str:
+    payload = {k: v for k, v in header.items() if k != "header_sha256"}
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def _write_artifact(path: Path, graph: CSRGraph, content_digest: str) -> None:
+    """Serialize ``graph`` atomically (tmp + ``os.replace``) to ``path``."""
+    arrays: dict[str, np.ndarray] = {
+        "offsets": np.ascontiguousarray(graph.offsets, dtype=np.int64),
+        "neighbors": np.ascontiguousarray(graph.neighbors, dtype=np.int64),
+        "labels": np.ascontiguousarray(graph.labels, dtype=np.int64),
+    }
+    layout: dict[str, dict[str, Any]] = {}
+    rel = 0
+    for name in _ARRAY_ORDER:
+        arr = arrays[name]
+        layout[name] = {
+            "offset": rel,
+            "items": int(arr.size),
+            "sha256": hashlib.sha256(arr.tobytes()).hexdigest(),
+        }
+        rel = _align(rel + arr.nbytes)
+    header: dict[str, Any] = {
+        "format": "gramer-graphstore",
+        "format_version": GRAPH_FORMAT_VERSION,
+        "content_digest": content_digest,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "dtype": "<i8",
+        "arrays": layout,
+    }
+    header["header_sha256"] = _header_self_digest(header)
+    header_bytes = json.dumps(
+        header, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    data_start = _align(_PREAMBLE_LEN + len(header_bytes))
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(_MAGIC)
+            handle.write(len(header_bytes).to_bytes(8, "little"))
+            handle.write(data_start.to_bytes(8, "little"))
+            handle.write(header_bytes)
+            handle.write(b"\x00" * (data_start - _PREAMBLE_LEN - len(header_bytes)))
+            pos = 0
+            for name in _ARRAY_ORDER:
+                arr = arrays[name]
+                target = int(layout[name]["offset"])
+                handle.write(b"\x00" * (target - pos))
+                handle.write(arr.tobytes())
+                pos = target + arr.nbytes
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)  # atomic under concurrent pool workers
+    finally:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+
+
+def _read_header(path: Path) -> tuple[dict[str, Any], int]:
+    """Read and verify the artifact header; return ``(header, data_start)``.
+
+    Raises :class:`_ArtifactCorrupt` for any structural defect — the
+    caller decides whether that means quarantine.
+    """
+    with open(path, "rb") as handle:
+        preamble = handle.read(_PREAMBLE_LEN)
+        if len(preamble) != _PREAMBLE_LEN or preamble[:8] != _MAGIC:
+            raise _ArtifactCorrupt("bad magic or truncated preamble")
+        header_len = int.from_bytes(preamble[8:16], "little")
+        data_start = int.from_bytes(preamble[16:24], "little")
+        if not 0 < header_len <= _MAX_HEADER_BYTES:
+            raise _ArtifactCorrupt(f"implausible header length {header_len}")
+        if data_start < _PREAMBLE_LEN + header_len:
+            raise _ArtifactCorrupt("data_start overlaps the header")
+        header_bytes = handle.read(header_len)
+    if len(header_bytes) != header_len:
+        raise _ArtifactCorrupt("truncated header")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _ArtifactCorrupt(f"undecodable header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise _ArtifactCorrupt("header is not a JSON object")
+    if header.get("format_version") != GRAPH_FORMAT_VERSION:
+        raise _ArtifactCorrupt(
+            f"format version skew: artifact "
+            f"v{header.get('format_version')!r} vs runtime "
+            f"v{GRAPH_FORMAT_VERSION}"
+        )
+    if header.get("header_sha256") != _header_self_digest(header):
+        raise _ArtifactCorrupt("header checksum mismatch")
+    tables = header.get("arrays")
+    if not isinstance(tables, dict) or set(tables) != set(_ARRAY_ORDER):
+        raise _ArtifactCorrupt("header arrays table malformed")
+    size = path.stat().st_size
+    try:
+        for name in _ARRAY_ORDER:
+            meta = tables[name]
+            end = data_start + int(meta["offset"]) + int(meta["items"]) * 8
+            if int(meta["offset"]) < 0 or int(meta["items"]) < 0:
+                raise _ArtifactCorrupt(f"array {name!r} has a negative extent")
+            if end > size:
+                raise _ArtifactCorrupt(
+                    f"truncated artifact: array {name!r} extends past EOF"
+                )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise _ArtifactCorrupt(f"header arrays table malformed: {exc}") from exc
+    return header, data_start
+
+
+def _map_arrays(
+    path: Path, header: dict[str, Any], data_start: int
+) -> dict[str, np.ndarray]:
+    """Memory-map each array read-only; no bytes are copied."""
+    mapped: dict[str, np.ndarray] = {}
+    for name in _ARRAY_ORDER:
+        meta = header["arrays"][name]
+        mapped[name] = np.memmap(
+            path,
+            dtype=np.int64,
+            mode="r",
+            offset=data_start + int(meta["offset"]),
+            shape=(int(meta["items"]),),
+        )
+    return mapped
+
+
+def _verify_arrays(
+    header: dict[str, Any], mapped: dict[str, np.ndarray]
+) -> None:
+    for name in _ARRAY_ORDER:
+        expected = header["arrays"][name].get("sha256")
+        actual = hashlib.sha256(mapped[name].tobytes()).hexdigest()
+        if actual != expected:
+            raise _ArtifactCorrupt(f"array {name!r} checksum mismatch")
+
+
+class GraphStore:
+    """Content-addressed store of memory-mapped CSR graph artifacts.
+
+    ``cache_root`` defaults to the artifact cache's root (honouring
+    ``GRAMER_CACHE_DIR``); artifacts live under ``<cache_root>/graphstore``
+    and share the cache's ``<cache_root>/quarantine`` convention.  Open
+    graphs are memoized per digest per process, so repeated
+    :meth:`open`/:meth:`load` calls return the *same* object.
+    """
+
+    def __init__(self, cache_root: str | os.PathLike[str] | None = None) -> None:
+        self.cache_root = (
+            Path(cache_root) if cache_root is not None else _resolve_cache_root()
+        )
+        self.root = self.cache_root / _STORE_DIR
+        self._open_graphs: dict[str, CSRGraph] = {}
+        #: Artifacts moved to quarantine by this store instance.
+        self.quarantined = 0
+
+    # -- addressing ---------------------------------------------------------
+
+    def artifact_path(self, digest: str) -> Path:
+        """Disk location of ``digest`` (whether or not it exists)."""
+        return self.root / f"{digest}{_SUFFIX}"
+
+    def _ref_path(self, key: Any) -> Path:
+        return self.root / _REFS_DIR / f"{_stable_key_hash(key)}.ref"
+
+    def digests(self) -> list[str]:
+        """Digests of every artifact currently on disk, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob(f"*{_SUFFIX}"))
+
+    # -- core operations ----------------------------------------------------
+
+    def put(self, graph: CSRGraph) -> str:
+        """Materialize ``graph`` (idempotent); return its content digest."""
+        digest = graph.content_digest()
+        path = self.artifact_path(digest)
+        if not path.exists():
+            _write_artifact(path, graph, digest)
+            _log.debug(
+                "materialized graph %s (|V|=%d, |E|=%d)",
+                digest[:12],
+                graph.num_vertices,
+                graph.num_edges,
+            )
+        return digest
+
+    def open(self, digest: str) -> CSRGraph:
+        """Open the artifact as an immutable mmap-backed ``CSRGraph``.
+
+        Per-array checksums are verified on first open; a failing
+        artifact is quarantined and reported via
+        :class:`GraphArtifactError` — never returned as a wrong graph.
+        Subsequent opens of the same digest return the memoized object.
+        """
+        cached = self._open_graphs.get(digest)
+        if cached is not None:
+            return cached
+        path = self.artifact_path(digest)
+        if not path.exists():
+            raise GraphArtifactError(
+                f"no graph artifact {digest[:12]}... under {self.root}"
+            )
+        try:
+            graph = self._open_path(path, digest)
+        except _ArtifactCorrupt as exc:
+            self._quarantine(path, str(exc))
+            raise GraphArtifactError(
+                f"graph artifact {digest[:12]}... failed verification "
+                f"({exc}); quarantined"
+            ) from exc
+        except OSError as exc:
+            raise GraphArtifactError(
+                f"cannot read graph artifact {digest[:12]}...: {exc}"
+            ) from exc
+        self._open_graphs[digest] = graph
+        return graph
+
+    def _open_path(self, path: Path, expected_digest: str | None) -> CSRGraph:
+        header, data_start = _read_header(path)
+        if (
+            expected_digest is not None
+            and header.get("content_digest") != expected_digest
+        ):
+            raise _ArtifactCorrupt(
+                "content digest does not match the artifact's address"
+            )
+        mapped = _map_arrays(path, header, data_start)
+        _verify_arrays(header, mapped)
+        try:
+            graph = CSRGraph.from_arrays(
+                mapped["offsets"], mapped["neighbors"], labels=mapped["labels"]
+            )
+        except ValueError as exc:
+            raise _ArtifactCorrupt(f"CSR invariants violated: {exc}") from exc
+        # The digest rides in from the verified header: store-backed graphs
+        # are addressed without ever re-hashing their arrays.
+        graph._content_digest = str(header["content_digest"])
+        return graph
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a failed-verification artifact aside for post-mortem."""
+        self.quarantined += 1
+        target = self.cache_root / _QUARANTINE_DIR / f"{_STORE_DIR}-{path.name}"
+        _log.warning("quarantining graph artifact %s: %s", path.name, reason)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            # Out of moves too?  Best effort: drop the bad artifact so a
+            # rebuilt one can take its slot.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                _log.warning(
+                    "could not remove corrupt graph artifact %s", path
+                )
+
+    # -- named sources (refs) -----------------------------------------------
+
+    def _read_ref(self, ref: Path) -> str | None:
+        try:
+            text = ref.read_text(encoding="utf-8").strip()
+        except OSError:
+            return None
+        if len(text) == 64 and all(c in "0123456789abcdef" for c in text):
+            return text
+        _log.warning("dropping malformed graph ref %s", ref.name)
+        try:
+            ref.unlink(missing_ok=True)
+        except OSError:
+            pass
+        return None
+
+    def _write_ref(self, ref: Path, digest: str) -> None:
+        tmp = ref.with_name(f"{ref.name}.tmp.{os.getpid()}")
+        try:
+            ref.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(digest, encoding="utf-8")
+            os.replace(tmp, ref)
+        except OSError as exc:
+            _log.warning("could not persist graph ref %s: %s", ref.name, exc)
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def materialize(self, key: Any, builder: Callable[[], CSRGraph]) -> str:
+        """Digest for the named source ``key``, building at most once.
+
+        ``key`` must be JSON-canonical (same contract as the artifact
+        cache).  A dangling or quarantined artifact behind the ref is
+        rebuilt via ``builder`` — corruption degrades to recomputation,
+        exactly like the artifact cache.
+        """
+        ref = self._ref_path(key)
+        digest = self._read_ref(ref)
+        if digest is not None:
+            try:
+                self.open(digest)
+            except GraphArtifactError as exc:
+                _log.warning(
+                    "graph artifact behind ref %s unavailable (%s); "
+                    "rebuilding",
+                    ref.name,
+                    exc,
+                )
+            else:
+                return digest
+        digest = self.put(builder())
+        self._write_ref(ref, digest)
+        return digest
+
+    def load(self, key: Any, builder: Callable[[], CSRGraph]) -> CSRGraph:
+        """Mmap-backed graph for the named source ``key`` (build-once)."""
+        return self.open(self.materialize(key, builder))
+
+    def import_edge_list(
+        self, filename: str | os.PathLike[str], comment_prefix: str = "#"
+    ) -> str:
+        """Materialize a SNAP-style edge-list file; return its digest.
+
+        Keyed by the file's *byte* hash, so re-importing an unchanged file
+        is a ref lookup, not a re-parse.
+        """
+        path = Path(filename)
+        hasher = hashlib.sha256()
+        with open(path, "rb") as handle:
+            for block in iter(lambda: handle.read(1 << 20), b""):
+                hasher.update(block)
+        key = {
+            "source": "edge-list",
+            "file_sha256": hasher.hexdigest(),
+            "comment_prefix": comment_prefix,
+        }
+        return self.materialize(
+            key, lambda: load_edge_list(path, comment_prefix=comment_prefix)
+        )
+
+    # -- inspection ---------------------------------------------------------
+
+    def info(self, digest: str) -> dict[str, Any]:
+        """Header-level facts about an artifact (no arrays are hashed)."""
+        path = self.artifact_path(digest)
+        if not path.exists():
+            raise GraphArtifactError(
+                f"no graph artifact {digest[:12]}... under {self.root}"
+            )
+        try:
+            header, _ = _read_header(path)
+        except _ArtifactCorrupt as exc:
+            raise GraphArtifactError(
+                f"graph artifact {digest[:12]}... is corrupt: {exc}"
+            ) from exc
+        except OSError as exc:
+            raise GraphArtifactError(
+                f"cannot read graph artifact {digest[:12]}...: {exc}"
+            ) from exc
+        return {
+            "digest": digest,
+            "path": str(path),
+            "bytes": path.stat().st_size,
+            "format_version": int(header["format_version"]),
+            "num_vertices": int(header["num_vertices"]),
+            "num_edges": int(header["num_edges"]),
+        }
+
+    def verify(self, digest: str) -> dict[str, Any]:
+        """Full integrity check from disk (header + every array checksum).
+
+        Unlike :meth:`open` this never uses the in-process memo; a
+        failing artifact is quarantined and raised.
+        """
+        path = self.artifact_path(digest)
+        if not path.exists():
+            raise GraphArtifactError(
+                f"no graph artifact {digest[:12]}... under {self.root}"
+            )
+        try:
+            self._open_path(path, digest)
+        except _ArtifactCorrupt as exc:
+            self._quarantine(path, str(exc))
+            self._open_graphs.pop(digest, None)
+            raise GraphArtifactError(
+                f"graph artifact {digest[:12]}... failed verification "
+                f"({exc}); quarantined"
+            ) from exc
+        except OSError as exc:
+            raise GraphArtifactError(
+                f"cannot read graph artifact {digest[:12]}...: {exc}"
+            ) from exc
+        return self.info(digest)
+
+
+_default_store: GraphStore | None = None
+
+
+def default_graph_store() -> GraphStore:
+    """The process-wide store singleton, re-rooted if the cache root moves.
+
+    Unlike the artifact-cache singleton this one re-resolves
+    ``default_cache_root()`` on every call: tests (and ``GRAMER_CACHE_DIR``
+    flips generally) get a store under the new root without an explicit
+    reset.
+    """
+    global _default_store
+    root = _resolve_cache_root()
+    if _default_store is None or _default_store.cache_root != root:
+        _default_store = GraphStore(root)
+    return _default_store
+
+
+def reset_default_graph_store() -> None:
+    """Forget the singleton (drops every memoized open graph)."""
+    global _default_store
+    _default_store = None

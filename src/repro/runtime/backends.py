@@ -12,15 +12,19 @@ configurations) moved here verbatim from ``experiments.harness`` — results
 are bit-identical to the pre-runtime serial path; the harness now re-exports
 these helpers and builds :class:`~repro.runtime.spec.JobSpec`\\ s.
 
-Expensive intermediates route through the artifact cache: proxy graphs are
-memoized by the dataset registry itself, and ON1 rank permutations are
-content-addressed by a hash of the CSR arrays (:func:`cached_vertex_rank`),
-so a sweep computes each graph's ranking once ever, not once per cell.
+Graphs are addressed through the content-addressed
+:class:`~repro.graph.store.GraphStore`: :func:`resolve_graph` opens
+memory-mapped artifacts (registry proxies via the dataset registry,
+edge-list files via :meth:`GraphStore.import_edge_list`), the executor
+primes workers with store digests (:func:`prime_graph_digest`) so warm
+workers attach to already-materialized artifacts through the page cache,
+and ON1 rank permutations are content-addressed by the same digest
+(:func:`cached_vertex_rank`) — computed once ever per graph, never
+re-hashed per job.
 """
 
 from __future__ import annotations
 
-import hashlib
 import time
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
@@ -40,8 +44,8 @@ from repro.baselines.cpu import CPUConfig
 from repro.baselines.fractal import BaselineResult, FractalModel
 from repro.baselines.rstream import RStreamModel
 from repro.graph.csr import CSRGraph
-from repro.graph.io import load_edge_list
 from repro.graph.reorder import rank_permutation
+from repro.graph.store import GraphArtifactError, default_graph_store
 from repro.locality.occurrence import occurrence_numbers
 from repro.mining.apps import make_app
 from repro.mining.apps.base import Application
@@ -62,6 +66,8 @@ __all__ = [
     "experiment_config",
     "build_app",
     "resolve_graph",
+    "graph_digest_for",
+    "prime_graph_digest",
     "cached_vertex_rank",
     "register_backend",
     "get_backend",
@@ -126,10 +132,43 @@ def _make_app_for(spec: JobSpec) -> Application:
     return make_app(spec.app)
 
 
+#: Digests primed by the executor before a worker runs a spec: the worker
+#: attaches straight to the already-materialized artifact (page-cache warm)
+#: instead of re-resolving its source.  Keyed by the frozen ``JobSpec``.
+_PRIMED_GRAPH_DIGESTS: dict[JobSpec, str] = {}
+
+
+def prime_graph_digest(spec: JobSpec, digest: str | None) -> None:
+    """Pre-bind ``spec`` to a store digest (``None`` clears the binding)."""
+    if digest is None:
+        _PRIMED_GRAPH_DIGESTS.pop(spec, None)
+    else:
+        _PRIMED_GRAPH_DIGESTS[spec] = digest
+
+
 def resolve_graph(spec: JobSpec, needs_labels: bool) -> CSRGraph:
-    """Load the spec's graph (registry proxy or edge-list file)."""
+    """Open the spec's graph, memory-mapped from the graph store.
+
+    Every route lands on a store artifact: a digest primed by the
+    executor is opened directly; an edge-list file is imported (parsed at
+    most once per file content); a registry proxy goes through the
+    store-materialized dataset registry.  A primed digest whose artifact
+    has gone missing or corrupt degrades to re-resolving the source — the
+    store quarantines the bad artifact and the graph is rebuilt.
+    """
+    store = default_graph_store()
+    primed = _PRIMED_GRAPH_DIGESTS.get(spec)
+    if primed is not None:
+        try:
+            return store.open(primed)
+        except GraphArtifactError as exc:
+            _log.warning(
+                "primed graph artifact unavailable (%s); re-resolving %s",
+                exc,
+                spec.label(),
+            )
     if spec.graph_path is not None:
-        return load_edge_list(spec.graph_path)
+        return store.open(store.import_edge_list(spec.graph_path))
     from repro.experiments import datasets
 
     if needs_labels:
@@ -137,16 +176,27 @@ def resolve_graph(spec: JobSpec, needs_labels: bool) -> CSRGraph:
     return datasets.load(spec.dataset, spec.scale)
 
 
+def graph_digest_for(spec: JobSpec) -> str:
+    """Materialize the spec's graph in the store; return its digest.
+
+    The executor calls this in the parent before fanning a sweep out, so
+    pool workers inherit warm artifacts (and the FSM threshold probe runs
+    once, not once per worker).  Store-backed graphs carry their digest
+    from the artifact header, so this never re-hashes arrays.
+    """
+    app = _make_app_for(spec)
+    return resolve_graph(spec, app.needs_labels).content_digest()
+
+
 def _graph_signature(graph: CSRGraph) -> str:
-    digest = hashlib.sha256()
-    digest.update(graph.offsets.tobytes())
-    digest.update(graph.neighbors.tobytes())
-    digest.update(graph.labels.tobytes())
-    return digest.hexdigest()
+    # The store digest *is* the old array hash (SHA-256 over
+    # offsets/neighbors/labels bytes), memoized on the graph — existing
+    # on-disk ON1-rank entries stay addressable, with zero re-hashing.
+    return graph.content_digest()
 
 
 def cached_vertex_rank(graph: CSRGraph) -> np.ndarray:
-    """ON1 rank permutation, content-addressed by the CSR arrays."""
+    """ON1 rank permutation, content-addressed by the graph digest."""
     key = {"graph": _graph_signature(graph), "hops": 1}
     return default_cache().get_or_create(
         "on1_rank",

@@ -1,0 +1,35 @@
+"""Known-bad corpus for the graph-store family (GRM9xx)."""
+
+from repro.graph import io
+from repro.graph.generators import erdos_renyi, powerlaw_cluster, rmat
+from repro.graph.io import load_edge_list, parse_edge_list
+from repro.graph.store import default_graph_store
+
+
+def reparsed_per_call(path):
+    # GRM901: every caller re-parses the file; no digest, no mmap sharing.
+    return load_edge_list(path)
+
+
+def reparsed_via_module(path):
+    # GRM901: attribute access is the same bypass.
+    return io.load_edge_list(path)
+
+
+def parsed_inline(lines):
+    # GRM901: parse_edge_list outside the graph layer.
+    return parse_edge_list(lines)
+
+
+def regenerated_per_process(n):
+    # GRM901: generator calls rebuild the proxy in every process.
+    sparse = erdos_renyi(n, 2 * n, seed=1)
+    dense = powerlaw_cluster(n, 3, 0.2, seed=2)
+    synthetic = rmat(10, 8, seed=3)
+    return sparse, dense, synthetic
+
+
+def through_the_store(path):
+    # allowed: the store materializes once and memory-maps everywhere.
+    store = default_graph_store()
+    return store.open(store.import_edge_list(path))

@@ -19,6 +19,7 @@ CORPUS = {
     "bad_observability.py": {"GRM601"},
     "bad_engine_selection.py": {"GRM701"},
     "bad_resilience.py": {"GRM801"},
+    "bad_graph_store.py": {"GRM901"},
 }
 
 
@@ -100,6 +101,16 @@ class TestAllowedIdioms:
         )
         flagged = {f.line for f in check_paths([FIXTURES / "bad_crossproc.py"])}
         assert lineno not in flagged
+
+    def test_store_routed_load_allowed(self):
+        """import_edge_list / store.open are the sanctioned graph path."""
+        source = (FIXTURES / "bad_graph_store.py").read_text()
+        lineno = next(
+            i
+            for i, line in enumerate(source.splitlines(), start=1)
+            if "store.import_edge_list" in line
+        )
+        assert lineno not in self._lines("bad_graph_store.py", "GRM901")
 
     def test_handled_broad_excepts_allowed(self):
         """Narrow-pass, logged, re-raised, and working handlers pass GRM801."""

@@ -19,18 +19,21 @@ def _isolated_artifact_cache(tmp_path_factory):
     independent of whatever a previous session cached.  Executor pool
     workers inherit the environment variable, so they share the same root.
     """
+    from repro.graph.store import reset_default_graph_store
     from repro.runtime.cache import reset_default_cache
 
     root = tmp_path_factory.mktemp("gramer-cache")
     previous = os.environ.get("GRAMER_CACHE_DIR")
     os.environ["GRAMER_CACHE_DIR"] = str(root)
     reset_default_cache()
+    reset_default_graph_store()
     yield
     if previous is None:
         os.environ.pop("GRAMER_CACHE_DIR", None)
     else:
         os.environ["GRAMER_CACHE_DIR"] = previous
     reset_default_cache()
+    reset_default_graph_store()
 
 
 @st.composite

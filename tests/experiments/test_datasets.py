@@ -1,5 +1,6 @@
 """Dataset registry: proxies, regimes, and scaled thresholds."""
 
+import numpy as np
 import pytest
 
 from repro.experiments import datasets
@@ -27,6 +28,14 @@ class TestRegistry:
         a = datasets.load("citeseer", "tiny")
         b = datasets.load("citeseer", "tiny")
         assert a is b
+
+    def test_load_is_mmap_backed(self):
+        """Proxies come back as read-only views over the store artifact."""
+        g = datasets.load("citeseer", "tiny")
+        assert isinstance(g.offsets.base, np.memmap)
+        assert isinstance(g.neighbors.base, np.memmap)
+        assert not g.offsets.flags.writeable
+        assert not g.neighbors.flags.writeable
 
     def test_labeled_variant(self):
         labeled = datasets.load_labeled("mico", "tiny")

@@ -1,9 +1,13 @@
 """Edge-list IO round trips and parsing."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.graph.generators import powerlaw_cluster
 from repro.graph.io import load_edge_list, parse_edge_list, save_edge_list
+
+FIXTURES = Path(__file__).parent / "fixtures"
 
 
 class TestParse:
@@ -32,6 +36,75 @@ class TestParse:
     def test_non_integer_raises(self):
         with pytest.raises(ValueError, match="non-integer"):
             parse_edge_list(["a b"])
+
+
+class TestRealFormatQuirks:
+    """Real SNAP files: CRLF, comments, sparse IDs, duplicate directed
+    pairs — including duplicates that straddle parser chunk boundaries."""
+
+    FIXTURE = FIXTURES / "snap_tiny.txt"
+
+    def test_fixture_really_is_crlf(self):
+        assert b"\r\n" in self.FIXTURE.read_bytes()
+
+    def test_snap_fixture_parses(self):
+        g = load_edge_list(self.FIXTURE)
+        # IDs {7, 42, 100, 900, 5000} compact to 0..4; the reversed and
+        # repeated (100, 900) records collapse to one undirected edge.
+        assert g.num_vertices == 5
+        assert g.num_edges == 5
+        assert g.has_edge(2, 3)  # 100 -- 900
+
+    def test_crlf_and_trailing_whitespace_lines(self):
+        g = parse_edge_list(["0 1\r\n", "1 2 \n", "2 0\t\r\n", "  \r\n"])
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+
+    def test_duplicates_across_chunk_boundaries(self):
+        # chunk_lines=2 forces the duplicate pairs into different chunks;
+        # de-duplication is global, so chunking cannot change the graph.
+        lines = ["0 1", "1 0", "0 1", "2 1", "1 2", "0 2"]
+        chunked = parse_edge_list(lines, chunk_lines=2)
+        whole = parse_edge_list(lines)
+        assert chunked.num_edges == whole.num_edges == 3
+        assert sorted(chunked.edges()) == sorted(whole.edges())
+
+    def test_any_chunking_matches_unchunked(self):
+        g = powerlaw_cluster(80, 3, 0.2, seed=9)
+        lines = [f"{u} {v}" for u, v in g.edges()]
+        for chunk_lines in (1, 3, 7, 10_000):
+            h = parse_edge_list(lines, chunk_lines=chunk_lines)
+            assert sorted(h.edges()) == sorted(g.edges())
+
+    def test_load_edge_list_chunked(self, tmp_path):
+        g = powerlaw_cluster(60, 2, 0.2, seed=10)
+        target = tmp_path / "g.txt"
+        save_edge_list(g, target)
+        h = load_edge_list(target, chunk_lines=5)
+        assert sorted(h.edges()) == sorted(g.edges())
+
+    def test_error_lineno_survives_chunking(self):
+        with pytest.raises(ValueError, match="line 4"):
+            parse_edge_list(["0 1", "1 2", "2 3", "oops"], chunk_lines=2)
+
+    def test_file_changed_between_passes(self, tmp_path):
+        """The two-pass loader refuses a file that shrank mid-load."""
+        import repro.graph.io as io_mod
+
+        target = tmp_path / "grew.txt"
+        target.write_text("0 1\n1 2\n")
+        original = io_mod._parse_chunk
+
+        def shrinking(chunk, comment_prefix):
+            target.write_text("0 1\n")
+            return original(chunk[:1], comment_prefix)
+
+        io_mod._parse_chunk = shrinking
+        try:
+            with pytest.raises(ValueError, match="shrank"):
+                load_edge_list(target)
+        finally:
+            io_mod._parse_chunk = original
 
 
 class TestRoundTrip:

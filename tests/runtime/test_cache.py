@@ -192,22 +192,33 @@ class TestCacheIntegrity:
 
 
 class TestDatasetMemoization:
-    def test_load_served_from_disk_across_cache_instances(self, tmp_path, monkeypatch):
-        import repro.runtime.cache as cache_mod
+    def test_load_served_from_disk_across_store_instances(self, tmp_path, monkeypatch):
+        """Proxy graphs are generated once, then mmap'd from the store."""
+        import repro.graph.store as store_mod
         from repro.experiments import datasets
 
         monkeypatch.setenv("GRAMER_CACHE_DIR", str(tmp_path))
-        cache_mod.reset_default_cache()
+        store_mod.reset_default_graph_store()
+        spec = datasets.DATASETS["citeseer"]
+        real_builder = spec.builders["tiny"]
+        calls = {"n": 0}
+
+        def counting_builder():
+            calls["n"] += 1
+            return real_builder()
+
+        monkeypatch.setitem(spec.builders, "tiny", counting_builder)
         try:
             first = datasets.load("citeseer", "tiny")
-            assert cache_mod.default_cache().stats.misses >= 1
-            # Fresh process simulation: new cache singleton, same disk root.
-            cache_mod.reset_default_cache()
+            assert calls["n"] == 1
+            # Fresh process simulation: new store singleton, same disk root.
+            store_mod.reset_default_graph_store()
             again = datasets.load("citeseer", "tiny")
-            assert cache_mod.default_cache().stats.disk_hits >= 1
+            assert calls["n"] == 1  # served from the materialized artifact
+            assert again is not first
             assert sorted(again.edges()) == sorted(first.edges())
         finally:
-            cache_mod.reset_default_cache()
+            store_mod.reset_default_graph_store()
 
     def test_fsm_threshold_memoized(self, tmp_path, monkeypatch):
         import repro.runtime.cache as cache_mod
