@@ -1,10 +1,13 @@
 """Repo-specific static analysis (``gramer check``).
 
-An AST-walking rule engine (:mod:`~repro.analysis.core`) plus five
+An AST-walking rule engine (:mod:`~repro.analysis.core`) plus the
 GRAMER-specific rule families (:mod:`~repro.analysis.rules`) protecting
 the invariants the execution runtime depends on: bit-deterministic
 simulation, cache purity, spec immutability, units hygiene, and
-cross-process safety.  See ``docs/static-analysis.md``.
+cross-process safety.  On top of the per-module rules, a whole-program
+pass (:mod:`~repro.analysis.project`, :mod:`~repro.analysis.callgraph`,
+:mod:`~repro.analysis.taint`) powers the GRM10xx project rules, which
+track flows across file boundaries.  See ``docs/static-analysis.md``.
 """
 
 from .core import (
@@ -18,13 +21,16 @@ from .core import (
     format_finding,
     get_rule,
     iter_python_files,
+    project_rule,
     rule,
     select_rules,
 )
+from .project import ProjectAnalysis
 
 __all__ = [
     "Finding",
     "ModuleContext",
+    "ProjectAnalysis",
     "Rule",
     "RuleError",
     "all_rules",
@@ -33,6 +39,7 @@ __all__ = [
     "format_finding",
     "get_rule",
     "iter_python_files",
+    "project_rule",
     "rule",
     "select_rules",
 ]

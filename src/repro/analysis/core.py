@@ -1,47 +1,81 @@
 """The ``gramer check`` rule engine.
 
-A *rule* is a callable that walks one parsed module and yields
-:class:`Finding`\\ s; the engine parses each file once, hands the shared
-:class:`ModuleContext` to every selected rule, and filters out findings
-the source suppresses with an inline comment::
+A *rule* is a callable that inspects code and yields
+:class:`Finding`\\ s.  Rules come in two scopes:
+
+* **module** rules walk one parsed module at a time (the original
+  engine): the engine parses each file once, hands the shared
+  :class:`ModuleContext` to every selected rule, and filters findings
+  through inline suppressions;
+* **project** rules (:func:`project_rule`) receive a whole
+  :class:`~repro.analysis.project.ProjectAnalysis` — module graph,
+  resolved symbol table, call graph — and may report flows that cross
+  file boundaries.  :func:`check_paths` runs them once per checked
+  directory.
+
+Suppressions name the rule IDs they silence::
 
     value = time.time()  # gramer: ignore[GRM102] -- wall time only
 
-Suppressions name the rule IDs they silence (``# gramer: ignore`` with no
-bracket silences every rule on that line).  They apply to the *first line*
-of the flagged statement, which is where the engine anchors every finding.
+``# gramer: ignore`` with no bracket silences every rule on the line.
+A trailing comment covers its own line; a *standalone* comment covers the
+next code line.  Coverage extends across a statement's physical lines
+(multi-line calls, decorated ``def``\\ s), so the comment and the finding
+anchor do not have to share a line number.  Suppressions that silence
+nothing are themselves findings (``GRM002``), except entries that name
+``GRM002`` explicitly — the sanctioned way to keep a speculative entry.
+
+Results are incremental: per-file analysis records are content-addressed
+in the runtime's :class:`~repro.runtime.cache.ArtifactCache` (kind
+``check/file``), keyed by source hash and by a digest of the analyzer's
+own sources, so a warm re-check of an unchanged tree re-parses nothing.
 
 Rules are registered declaratively (:func:`rule`) into a process-wide
 registry, keyed by a stable ID (``GRM<family><nn>``); families group IDs
-by the invariant they protect (determinism, cache purity, spec
-immutability, units hygiene, cross-process safety).  The engine itself is
-repo-agnostic — everything GRAMER-specific lives in
-:mod:`repro.analysis.rules`.
+by the invariant they protect.  The engine itself is repo-agnostic —
+everything GRAMER-specific lives in :mod:`repro.analysis.rules`.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import re
 import tokenize
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
+
+if TYPE_CHECKING:
+    from repro.runtime.cache import ArtifactCache
+
+    from .project import ProjectAnalysis
 
 __all__ = [
+    "ANALYSIS_VERSION",
     "Finding",
     "ModuleContext",
     "Rule",
     "RuleError",
+    "Suppression",
     "all_rules",
     "check_paths",
     "check_source",
     "format_finding",
     "get_rule",
     "iter_python_files",
+    "project_rule",
     "rule",
     "select_rules",
 ]
+
+#: Bump to invalidate every cached per-file record when the engine's
+#: behavior changes in a way the source digest cannot see.
+ANALYSIS_VERSION = 1
+
+#: Relative-path fragments whose files never get GRM002 findings: fixture
+#: corpora deliberately carry suppressions that tests point rules at.
+_GRM002_EXEMPT_PARTS = ("tests/analysis/fixtures",)
 
 _SUPPRESS_RE = re.compile(
     r"#\s*gramer:\s*ignore(?:\[(?P<ids>[A-Za-z0-9_,\s-]*)\])?"
@@ -84,20 +118,31 @@ class ModuleContext:
         )
 
 
-RuleFn = Callable[[ModuleContext], Iterable[Finding]]
+RuleFn = Callable[..., Iterable[Finding]]
 
 
 @dataclass(frozen=True)
 class Rule:
-    """A registered check: stable ID, family, one-line doc, implementation."""
+    """A registered check: stable ID, family, docs, scope, implementation.
+
+    ``scope`` is ``"module"`` (fn takes a :class:`ModuleContext`) or
+    ``"project"`` (fn takes a :class:`ProjectAnalysis`).  ``explain`` is
+    the long-form rationale ``gramer check --explain`` prints; it
+    defaults to the rule function's docstring.
+    """
 
     rule_id: str
     family: str
     summary: str
     fn: RuleFn
+    scope: str = "module"
+    explain: str = ""
 
     def run(self, context: ModuleContext) -> Iterator[Finding]:
         yield from self.fn(context)
+
+    def run_project(self, project: "ProjectAnalysis") -> Iterator[Finding]:
+        yield from self.fn(project)
 
 
 class RuleError(ValueError):
@@ -107,15 +152,61 @@ class RuleError(ValueError):
 _REGISTRY: dict[str, Rule] = {}
 
 
-def rule(rule_id: str, family: str, summary: str) -> Callable[[RuleFn], RuleFn]:
-    """Decorator registering ``fn`` as rule ``rule_id``."""
+def _register(
+    rule_id: str,
+    family: str,
+    summary: str,
+    fn: RuleFn,
+    scope: str,
+    explain: str | None,
+) -> None:
+    if rule_id in _REGISTRY:
+        raise RuleError(f"rule {rule_id!r} registered twice")
+    text = explain if explain is not None else (fn.__doc__ or "")
+    _REGISTRY[rule_id] = Rule(
+        rule_id=rule_id,
+        family=family,
+        summary=summary,
+        fn=fn,
+        scope=scope,
+        explain=_dedent_doc(text),
+    )
+
+
+def _dedent_doc(text: str) -> str:
+    import textwrap
+
+    lines = text.strip("\n").splitlines()
+    if not lines:
+        return ""
+    head, *rest = lines
+    return "\n".join([head.strip(), textwrap.dedent("\n".join(rest))]).strip()
+
+
+def rule(
+    rule_id: str, family: str, summary: str, *, explain: str | None = None
+) -> Callable[[RuleFn], RuleFn]:
+    """Decorator registering ``fn`` as a module-scope rule ``rule_id``."""
 
     def decorate(fn: RuleFn) -> RuleFn:
-        if rule_id in _REGISTRY:
-            raise RuleError(f"rule {rule_id!r} registered twice")
-        _REGISTRY[rule_id] = Rule(
-            rule_id=rule_id, family=family, summary=summary, fn=fn
-        )
+        _register(rule_id, family, summary, fn, "module", explain)
+        return fn
+
+    return decorate
+
+
+def project_rule(
+    rule_id: str, family: str, summary: str, *, explain: str | None = None
+) -> Callable[[RuleFn], RuleFn]:
+    """Decorator registering ``fn`` as a project-scope rule.
+
+    The function receives a :class:`~repro.analysis.project.ProjectAnalysis`
+    covering one checked directory and yields findings anchored to any
+    file in it.
+    """
+
+    def decorate(fn: RuleFn) -> RuleFn:
+        _register(rule_id, family, summary, fn, "project", explain)
         return fn
 
     return decorate
@@ -162,29 +253,75 @@ def select_rules(select: Iterable[str] | None = None) -> list[Rule]:
     ]
 
 
-def _merge(
-    out: dict[int, frozenset[str] | None],
-    line: int,
-    ids: frozenset[str] | None,
-) -> None:
-    if line in out:
-        existing = out[line]
-        out[line] = (
-            None if existing is None or ids is None else existing | ids
-        )
-    else:
-        out[line] = ids
+# -- suppressions -----------------------------------------------------------
 
 
-def _suppressions(source: str) -> dict[int, frozenset[str] | None]:
-    """Map line number -> suppressed rule IDs (``None`` = every rule).
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# gramer: ignore`` comment and the code lines it silences.
+
+    ``ids`` is ``None`` for a bare ``ignore`` (silences every rule).
+    ``covered`` already includes statement-span and decorator aliasing,
+    so membership is a plain lookup at filter time.
+    """
+
+    line: int
+    col: int
+    ids: tuple[str, ...] | None
+    covered: tuple[int, ...]
+
+    def silences(self, finding: Finding) -> bool:
+        if finding.line not in self.covered:
+            return False
+        return self.ids is None or finding.rule_id.upper() in self.ids
+
+
+def _statement_units(tree: ast.Module) -> dict[int, set[int]]:
+    """Map each physical line to the full line-span of its statement unit.
+
+    A *unit* is the set of lines a suppression anywhere inside it covers:
+    a simple statement's whole span (multi-line calls, long literals), a
+    compound statement's header (a ``def`` signature or ``if`` condition
+    wrapped across lines), and a decorated definition's decorator lines
+    plus the ``def``/``class`` line itself.
+    """
+    units: dict[int, set[int]] = {}
+
+    def add(start: int, end: int) -> None:
+        if end <= start:
+            return
+        span = set(range(start, end + 1))
+        for line in span:
+            units.setdefault(line, set()).update(span)
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        decorators = getattr(node, "decorator_list", None)
+        if decorators:
+            add(decorators[0].lineno, node.lineno)
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            # Compound statement: the header may wrap across lines.
+            add(node.lineno, body[0].lineno - 1)
+        else:
+            end = getattr(node, "end_lineno", None)
+            if isinstance(end, int):
+                add(node.lineno, end)
+    return units
+
+
+def _collect_suppressions(source: str, tree: ast.Module | None) -> list[Suppression]:
+    """Parse every suppression comment, with aliased line coverage.
 
     Parsed from real comment tokens, so a ``# gramer: ignore`` inside a
     string literal does not silence anything.  A trailing comment covers
     its own line; a *standalone* comment covers the next code line (so a
-    multi-line reason can sit above the statement it excuses).
+    multi-line reason can sit above the statement it excuses).  Both are
+    then widened to the statement unit the covered line belongs to.
     """
     source_lines = source.splitlines()
+    units = _statement_units(tree) if tree is not None else {}
 
     def comment_only(lineno: int) -> bool:  # 1-based line number
         if lineno > len(source_lines):
@@ -192,7 +329,7 @@ def _suppressions(source: str) -> dict[int, frozenset[str] | None]:
         stripped = source_lines[lineno - 1].strip()
         return not stripped or stripped.startswith("#")
 
-    out: dict[int, frozenset[str] | None] = {}
+    out: list[Suppression] = []
     lines = iter(source.splitlines(keepends=True))
     try:
         tokens = tokenize.generate_tokens(lambda: next(lines, ""))
@@ -204,35 +341,153 @@ def _suppressions(source: str) -> dict[int, frozenset[str] | None]:
                 continue
             ids_text = match.group("ids")
             if ids_text is None or not ids_text.strip():
-                ids: frozenset[str] | None = None
+                ids: tuple[str, ...] | None = None
             else:
-                ids = frozenset(
-                    part.strip().upper()
-                    for part in ids_text.split(",")
-                    if part.strip()
+                ids = tuple(
+                    sorted(
+                        part.strip().upper()
+                        for part in ids_text.split(",")
+                        if part.strip()
+                    )
                 )
             line = token.start[0]
             prefix = source_lines[line - 1][: token.start[1]]
             if prefix.strip():
-                _merge(out, line, ids)  # trailing comment: this line
+                base = line  # trailing comment: this line
             else:
                 # Standalone comment: attach to the next code line.
-                target = line + 1
-                while comment_only(target):
-                    target += 1
-                _merge(out, target, ids)
+                base = line + 1
+                while comment_only(base):
+                    base += 1
+            covered: set[int] = {base}
+            covered |= units.get(base, set())
+            out.append(
+                Suppression(
+                    line=line,
+                    col=token.start[1],
+                    ids=ids,
+                    covered=tuple(sorted(covered)),
+                )
+            )
     except tokenize.TokenError:
         pass
     return out
 
 
-def _is_suppressed(
-    finding: Finding, suppressions: dict[int, frozenset[str] | None]
-) -> bool:
-    if finding.line not in suppressions:
-        return False
-    ids = suppressions[finding.line]
-    return ids is None or finding.rule_id.upper() in ids
+def _filter_findings(
+    findings: Iterable[Finding], suppressions: list[Suppression]
+) -> tuple[list[Finding], set[int]]:
+    """Drop suppressed findings; return survivors + used comment lines."""
+    kept: list[Finding] = []
+    used: set[int] = set()
+    for finding in findings:
+        matched = False
+        for entry in suppressions:
+            if entry.silences(finding):
+                matched = True
+                used.add(entry.line)
+        if not matched:
+            kept.append(finding)
+    return kept, used
+
+
+def _grm002_exempt(relpath: str) -> bool:
+    return any(part in relpath for part in _GRM002_EXEMPT_PARTS)
+
+
+def _unused_suppression_findings(
+    path: str, suppressions: list[Suppression], used: set[int]
+) -> list[Finding]:
+    """Synthesize GRM002 findings for entries that silenced nothing.
+
+    GRM002 findings are never themselves suppressible — a bare unused
+    entry would otherwise silence its own report.  Listing ``GRM002``
+    in the bracket is the explicit acknowledgment that keeps an entry.
+    """
+    out: list[Finding] = []
+    for entry in suppressions:
+        if entry.line in used:
+            continue
+        if entry.ids is not None and "GRM002" in entry.ids:
+            continue
+        label = f"ignore[{', '.join(entry.ids)}]" if entry.ids else "ignore"
+        out.append(
+            Finding(
+                rule_id="GRM002",
+                path=path,
+                line=entry.line,
+                col=entry.col,
+                message=(
+                    f"unused suppression: {label} silences nothing on the "
+                    "lines it covers — remove it, or acknowledge it with "
+                    "GRM002 in the bracket if it must stay"
+                ),
+            )
+        )
+    return out
+
+
+# -- per-file analysis ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FileRecord:
+    """Cached module-scope result for one file.
+
+    ``findings`` are already suppression-filtered; ``suppressions`` and
+    ``used`` travel along so the project pass and GRM002 synthesis can
+    finish the job without re-reading the file.
+    """
+
+    path: str
+    relpath: str
+    findings: tuple[Finding, ...]
+    suppressions: tuple[Suppression, ...]
+    used: tuple[int, ...]
+
+
+def _analyze_source(
+    source: str,
+    path: Path | str,
+    rules: Iterable[Rule],
+    relpath: str | None = None,
+) -> FileRecord:
+    """Run module-scope rules over one source; no GRM002 synthesis yet."""
+    path = Path(path)
+    rel = relpath if relpath is not None else path.as_posix()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        finding = Finding(
+            rule_id="GRM000",
+            path=str(path),
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"syntax error: {exc.msg}",
+        )
+        return FileRecord(
+            path=str(path),
+            relpath=rel,
+            findings=(finding,),
+            suppressions=(),
+            used=(),
+        )
+    context = ModuleContext(path=path, source=source, tree=tree, relpath=rel)
+    suppressions = _collect_suppressions(source, tree)
+    raw = [
+        finding
+        for r in rules
+        if r.scope == "module"
+        for finding in r.run(context)
+    ]
+    kept, used = _filter_findings(raw, suppressions)
+    return FileRecord(
+        path=str(path),
+        relpath=rel,
+        findings=tuple(sorted(kept, key=Finding.sort_key)),
+        suppressions=tuple(suppressions),
+        used=tuple(sorted(used)),
+    )
 
 
 def check_source(
@@ -241,33 +496,24 @@ def check_source(
     rules: Iterable[Rule] | None = None,
     relpath: str | None = None,
 ) -> list[Finding]:
-    """Run ``rules`` over one module's source; honors suppressions."""
-    path = Path(path)
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [
-            Finding(
-                rule_id="GRM000",
-                path=str(path),
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                message=f"syntax error: {exc.msg}",
+    """Run module-scope ``rules`` over one module's source.
+
+    Honors suppressions and reports unused ones (GRM002) when that rule
+    is among ``rules``.  Project-scope rules are skipped — they need a
+    :class:`~repro.analysis.project.ProjectAnalysis`, built by
+    :func:`check_paths` over directories.
+    """
+    rules_ = list(rules) if rules is not None else all_rules()
+    record = _analyze_source(source, path, rules_, relpath)
+    findings = list(record.findings)
+    if any(r.rule_id == "GRM002" for r in rules_) and not _grm002_exempt(
+        record.relpath
+    ):
+        findings.extend(
+            _unused_suppression_findings(
+                record.path, list(record.suppressions), set(record.used)
             )
-        ]
-    context = ModuleContext(
-        path=path,
-        source=source,
-        tree=tree,
-        relpath=relpath if relpath is not None else path.as_posix(),
-    )
-    suppressions = _suppressions(source)
-    findings = [
-        finding
-        for r in (rules if rules is not None else all_rules())
-        for finding in r.run(context)
-        if not _is_suppressed(finding, suppressions)
-    ]
+        )
     return sorted(findings, key=Finding.sort_key)
 
 
@@ -285,18 +531,159 @@ def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
             raise FileNotFoundError(f"not a Python file or directory: {entry}")
 
 
+def _file_record_key(
+    relpath: str, path: str, source_bytes: bytes, rule_ids: list[str]
+) -> dict[str, Any]:
+    from .project import analysis_digest
+
+    return {
+        "relpath": relpath,
+        "path": path,
+        "sha256": hashlib.sha256(source_bytes).hexdigest(),
+        "rules": rule_ids,
+        "analysis_digest": analysis_digest(),
+        "analysis_version": ANALYSIS_VERSION,
+    }
+
+
+def _analyze_file_worker(
+    path_str: str, relpath: str, rule_ids: tuple[str, ...]
+) -> FileRecord:
+    """Pool worker: module-scope analysis of one file (top-level, picklable)."""
+    rules_ = [get_rule(rule_id) for rule_id in rule_ids]
+    source = Path(path_str).read_text(encoding="utf-8")
+    return _analyze_source(source, Path(path_str), rules_, relpath)
+
+
 def check_paths(
     paths: Iterable[Path | str],
     select: Iterable[str] | None = None,
+    *,
+    project: bool = True,
+    use_cache: bool = True,
+    cache: "ArtifactCache | None" = None,
+    jobs: int = 1,
+    only: Iterable[Path | str] | None = None,
 ) -> list[Finding]:
-    """Run the engine over files/trees; returns all findings, sorted."""
+    """Run the engine over files/trees; returns all findings, sorted.
+
+    Module-scope rules run per file, with each file's record cached
+    content-addressed (``use_cache``/``cache``); project-scope rules run
+    once per *directory* argument over a
+    :class:`~repro.analysis.project.ProjectAnalysis` of that tree.
+    ``jobs > 1`` fans cold per-file analysis out across a process pool.
+    ``only`` restricts *reported* findings to the given files while the
+    project pass still sees the whole tree (``gramer check --changed``).
+    """
     rules_ = select_rules(select)
+    module_rules = [r for r in rules_ if r.scope == "module"]
+    project_rules = [r for r in rules_ if r.scope == "project"]
+    grm002 = any(r.rule_id == "GRM002" for r in rules_)
+    module_rule_ids = tuple(sorted(r.rule_id for r in module_rules))
+
+    cache_obj: "ArtifactCache | None" = cache
+    if cache_obj is None and use_cache:
+        from repro.runtime.cache import default_cache
+
+        cache_obj = default_cache()
+
+    path_args = [Path(entry) for entry in paths]
+    files = list(iter_python_files(path_args))
+
+    # -- module pass (incremental, optionally parallel) ---------------------
+    records: dict[str, FileRecord] = {}
+    pending: list[tuple[Path, str, dict[str, Any]]] = []
+    for path in files:
+        relpath = path.as_posix()
+        key: dict[str, Any] = {}
+        if cache_obj is not None:
+            key = _file_record_key(
+                relpath, str(path), path.read_bytes(), list(module_rule_ids)
+            )
+            hit, value = cache_obj.lookup("check/file", key)
+            if hit and isinstance(value, FileRecord):
+                records[str(path)] = value
+                continue
+        pending.append((path, relpath, key))
+
+    fresh: list[tuple[FileRecord, dict[str, Any]]]
+    if jobs > 1 and len(pending) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                (
+                    pool.submit(
+                        _analyze_file_worker, str(path), relpath, module_rule_ids
+                    ),
+                    key,
+                )
+                for path, relpath, key in pending
+            ]
+            fresh = [(future.result(), key) for future, key in futures]
+    else:
+        fresh = [
+            (_analyze_file_worker(str(path), relpath, module_rule_ids), key)
+            for path, relpath, key in pending
+        ]
+    for record, key in fresh:
+        if cache_obj is not None and key:
+            cache_obj.store("check/file", key, record)
+        records[record.path] = record
+
     findings: list[Finding] = []
-    for path in iter_python_files(paths):
-        source = path.read_text(encoding="utf-8")
-        findings.extend(
-            check_source(source, path, rules=rules_, relpath=path.as_posix())
-        )
+    used: dict[str, set[int]] = {
+        path: set(record.used) for path, record in records.items()
+    }
+    for record in records.values():
+        findings.extend(record.findings)
+
+    # -- project pass (once per directory argument) -------------------------
+    if project and project_rules:
+        from .project import ProjectAnalysis
+
+        for entry in path_args:
+            if not entry.is_dir():
+                continue
+            analysis = ProjectAnalysis.build(entry, cache=cache_obj, jobs=jobs)
+            raw = [
+                finding
+                for r in project_rules
+                for finding in r.run_project(analysis)
+            ]
+            for finding in raw:
+                record = records.get(finding.path)
+                if record is None:
+                    findings.append(finding)
+                    continue
+                matched = False
+                for suppression in record.suppressions:
+                    if suppression.silences(finding):
+                        matched = True
+                        used[finding.path].add(suppression.line)
+                if not matched:
+                    findings.append(finding)
+
+    # -- unused suppressions ------------------------------------------------
+    if grm002:
+        for record in records.values():
+            if _grm002_exempt(record.relpath):
+                continue
+            findings.extend(
+                _unused_suppression_findings(
+                    record.path,
+                    list(record.suppressions),
+                    used[record.path],
+                )
+            )
+
+    if only is not None:
+        wanted = {str(Path(entry).resolve()) for entry in only}
+        findings = [
+            finding
+            for finding in findings
+            if str(Path(finding.path).resolve()) in wanted
+        ]
     return sorted(findings, key=Finding.sort_key)
 
 

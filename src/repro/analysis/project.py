@@ -1,0 +1,334 @@
+"""Whole-program analysis: the module graph and resolved symbol table.
+
+:meth:`ProjectAnalysis.build` walks one root directory (typically
+``src/repro``), summarizes every module (:mod:`repro.analysis.summary`),
+and resolves names across file boundaries: import aliases, re-export
+chains, ``self.`` method calls (including single-inheritance bases), and
+dotted module attributes.  The result is the substrate the GRM10xx
+project rules query — see :mod:`repro.analysis.callgraph` for edges and
+reachability and :mod:`repro.analysis.taint` for the interprocedural
+taint fixpoint.
+
+Summaries are content-addressed in the :class:`ArtifactCache` (kind
+``check/summary``), keyed by source hash plus the analyzer's own source
+digest, so a warm project pass re-parses nothing.  Cold builds can fan
+out across a process pool (``jobs``): :class:`ModuleSummary` is a frozen
+picklable dataclass, so workers just return summaries to the parent,
+which owns the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.runtime.cache import ArtifactCache
+
+from .summary import (
+    SUMMARY_VERSION,
+    BackendInfo,
+    FunctionSummary,
+    ModuleSummary,
+    SpecClassInfo,
+    summarize_module,
+)
+
+__all__ = ["ProjectAnalysis", "analysis_digest"]
+
+_digest_cache: str | None = None
+
+
+def analysis_digest() -> str:
+    """SHA-256 over the analyzer's own source files.
+
+    Salting cache keys with this makes every summary and finding record
+    self-invalidating: editing any rule or the engine re-checks the world
+    once, then re-caches.
+    """
+    global _digest_cache
+    if _digest_cache is None:
+        package_root = Path(__file__).resolve().parent
+        hasher = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            hasher.update(path.relative_to(package_root).as_posix().encode())
+            hasher.update(b"\0")
+            hasher.update(path.read_bytes())
+            hasher.update(b"\0")
+        _digest_cache = hasher.hexdigest()
+    return _digest_cache
+
+
+def _module_name(root: Path, path: Path, prefix: str) -> str:
+    parts = list(path.relative_to(root).parts)
+    parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    if prefix:
+        parts = [prefix, *parts]
+    return ".".join(parts)
+
+
+def _summarize_worker(
+    path_str: str, module: str, relpath: str
+) -> tuple[str, ModuleSummary | None, str | None]:
+    """Pool worker: parse + summarize one file (top-level, picklable)."""
+    source = Path(path_str).read_text(encoding="utf-8")
+    try:
+        return module, summarize_module(source, module, relpath), None
+    except SyntaxError as exc:
+        return module, None, f"{exc.msg} (line {exc.lineno})"
+
+
+@dataclass
+class ProjectAnalysis:
+    """Summaries plus cross-module name resolution for one source root."""
+
+    root: Path
+    modules: dict[str, ModuleSummary] = field(default_factory=dict)
+    paths: dict[str, Path] = field(default_factory=dict)
+    #: module -> parse error message, for files the pass had to skip.
+    errors: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._functions: dict[str, FunctionSummary] = {}
+        self._top_level: dict[str, dict[str, str]] = {}
+        self._classes: dict[str, dict[str, frozenset[str]]] = {}
+        self._bases: dict[str, dict[str, tuple[str, ...]]] = {}
+        self._imports: dict[str, dict[str, str]] = {}
+        self._graph: Any = None
+
+    def callgraph(self) -> Any:
+        """The project :class:`~repro.analysis.callgraph.CallGraph` (lazy)."""
+        if self._graph is None:
+            from .callgraph import CallGraph
+
+            self._graph = CallGraph.build(self)
+        return self._graph
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        root: Path | str,
+        *,
+        cache: ArtifactCache | None = None,
+        jobs: int = 1,
+    ) -> "ProjectAnalysis":
+        """Summarize every ``.py`` file under ``root`` and index symbols."""
+        root = Path(root).resolve()
+        prefix = root.name if (root / "__init__.py").is_file() else ""
+        project = cls(root=root)
+
+        work: list[tuple[Path, str, str, dict[str, Any]]] = []
+        for path in sorted(p for p in root.rglob("*.py") if p.is_file()):
+            module = _module_name(root, path, prefix)
+            relpath = path.relative_to(root).as_posix()
+            source_bytes = path.read_bytes()
+            key = {
+                "relpath": relpath,
+                "sha256": hashlib.sha256(source_bytes).hexdigest(),
+                "summary_version": SUMMARY_VERSION,
+                "analysis_digest": analysis_digest(),
+            }
+            if cache is not None:
+                hit, value = cache.lookup("check/summary", key)
+                if hit and isinstance(value, tuple) and len(value) == 2:
+                    summary, error = value
+                    project._admit(module, path, summary, error)
+                    continue
+            work.append((path, module, relpath, key))
+
+        results: list[
+            tuple[str, ModuleSummary | None, str | None, Path, dict[str, Any]]
+        ]
+        if jobs > 1 and len(work) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                futures = [
+                    (
+                        pool.submit(_summarize_worker, str(path), module, relpath),
+                        path,
+                        key,
+                    )
+                    for path, module, relpath, key in work
+                ]
+                results = [
+                    (*future.result(), path, key) for future, path, key in futures
+                ]
+        else:
+            results = [
+                (*_summarize_worker(str(path), module, relpath), path, key)
+                for path, module, relpath, key in work
+            ]
+
+        for module, summary, error, path, key in results:
+            if cache is not None:
+                cache.store("check/summary", key, (summary, error))
+            project._admit(module, path, summary, error)
+        return project
+
+    def _admit(
+        self,
+        module: str,
+        path: Path,
+        summary: ModuleSummary | None,
+        error: str | None,
+    ) -> None:
+        self.paths[module] = path
+        if summary is None:
+            self.errors[module] = error or "unparsable"
+            return
+        self.modules[module] = summary
+        self._imports[module] = summary.imports_dict()
+        self._classes[module] = summary.class_methods()
+        self._bases[module] = dict(summary.class_bases)
+        top: dict[str, str] = {}
+        for fn in summary.functions:
+            key = f"{module}:{fn.qualname}"
+            self._functions[key] = fn
+            if fn.class_name is None:
+                top[fn.name] = key
+        self._top_level[module] = top
+
+    # -- lookups ------------------------------------------------------------
+
+    def functions(self) -> Iterator[tuple[str, str, FunctionSummary]]:
+        """Yield ``(fn_key, module, summary)`` for every known function."""
+        for key, fn in self._functions.items():
+            yield key, key.split(":", 1)[0], fn
+
+    def function(self, key: str) -> FunctionSummary | None:
+        return self._functions.get(key)
+
+    def module_of(self, key: str) -> str:
+        return key.split(":", 1)[0]
+
+    def path_of(self, key_or_module: str) -> Path:
+        return self.paths[key_or_module.split(":", 1)[0]]
+
+    def backends(self) -> Iterator[tuple[str, BackendInfo]]:
+        for module, summary in self.modules.items():
+            for backend in summary.backends:
+                yield module, backend
+
+    def spec_classes(self) -> Iterator[tuple[str, SpecClassInfo]]:
+        for module, summary in self.modules.items():
+            for spec in summary.spec_classes:
+                yield module, spec
+
+    def spec_class(self, name: str) -> tuple[str, SpecClassInfo] | None:
+        """Find a spec class by bare name anywhere in the project."""
+        tail = name.rsplit(".", 1)[-1]
+        for module, spec in self.spec_classes():
+            if spec.name == tail:
+                return module, spec
+        return None
+
+    # -- name resolution ----------------------------------------------------
+
+    def resolve_call(
+        self, module: str, callee: str, class_name: str | None = None
+    ) -> str | None:
+        """Resolve a callee *as written* in ``module`` to a function key.
+
+        Returns ``None`` for anything that cannot be pinned to a project
+        function — builtins, third-party calls, methods on arbitrary
+        expressions.  Unresolved calls contribute **no** taint, so every
+        finding downstream of this is spelled out end to end.
+        """
+        if module not in self.modules:
+            return None
+        if callee.startswith("self."):
+            rest = callee[len("self."):]
+            if "." in rest or class_name is None:
+                return None
+            return self._resolve_method(module, class_name, rest, depth=0)
+
+        parts = callee.split(".")
+        local = self._top_level.get(module, {})
+        if len(parts) == 1:
+            if callee in local:
+                return local[callee]
+            if callee in self._classes.get(module, {}):
+                return self._resolve_method(module, callee, "__init__", depth=0)
+            target = self._imports.get(module, {}).get(callee)
+            if target is not None:
+                return self._resolve_dotted(target, depth=0)
+            return None
+
+        head, rest = parts[0], parts[1:]
+        target = self._imports.get(module, {}).get(head)
+        if target is not None:
+            return self._resolve_dotted(".".join([target, *rest]), depth=0)
+        if head in self._classes.get(module, {}) and len(rest) == 1:
+            # ``SomeClass.method`` referenced without an import.
+            return self._resolve_method(module, head, rest[0], depth=0)
+        return None
+
+    _MAX_DEPTH = 6
+
+    def _resolve_dotted(self, dotted: str, depth: int) -> str | None:
+        if depth > self._MAX_DEPTH:
+            return None
+        parts = dotted.split(".")
+        for split in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:split])
+            if prefix not in self.modules:
+                continue
+            rest = parts[split:]
+            if not rest:
+                return None  # a module object, not a callable
+            if len(rest) == 1:
+                name = rest[0]
+                if name in self._top_level[prefix]:
+                    return self._top_level[prefix][name]
+                if name in self._classes[prefix]:
+                    return self._resolve_method(prefix, name, "__init__", depth + 1)
+                reexport = self._imports[prefix].get(name)
+                if reexport is not None:
+                    return self._resolve_dotted(reexport, depth + 1)
+                return None
+            if len(rest) == 2 and rest[0] in self._classes[prefix]:
+                return self._resolve_method(prefix, rest[0], rest[1], depth + 1)
+            reexport = self._imports[prefix].get(rest[0])
+            if reexport is not None:
+                return self._resolve_dotted(
+                    ".".join([reexport, *rest[1:]]), depth + 1
+                )
+            return None
+        return None
+
+    def _resolve_method(
+        self, module: str, class_name: str, method: str, depth: int
+    ) -> str | None:
+        if depth > self._MAX_DEPTH:
+            return None
+        methods = self._classes.get(module, {}).get(class_name)
+        if methods is None:
+            return None
+        if method in methods:
+            return f"{module}:{class_name}.{method}"
+        # Walk declared bases (single level of name resolution each).
+        for base in self._bases.get(module, {}).get(class_name, ()):
+            base_tail = base.rsplit(".", 1)[-1]
+            if base_tail in self._classes.get(module, {}):
+                found = self._resolve_method(module, base_tail, method, depth + 1)
+                if found is not None:
+                    return found
+                continue
+            target = self._imports.get(module, {}).get(base.split(".")[0])
+            if target is None:
+                continue
+            dotted = (
+                ".".join([target, *base.split(".")[1:], method])
+                if "." in base
+                else f"{target}.{method}"
+            )
+            found = self._resolve_dotted(dotted, depth + 1)
+            if found is not None:
+                return found
+        return None

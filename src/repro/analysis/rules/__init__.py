@@ -18,7 +18,12 @@ Importing this package registers every rule with the engine registry in
 * ``resilience`` (GRM8xx) — broad exception handlers that swallow errors
   without re-raise or logging;
 * ``graph_store`` (GRM9xx) — graphs loaded or generated outside the
-  content-addressed :class:`repro.graph.store.GraphStore` path.
+  content-addressed :class:`repro.graph.store.GraphStore` path;
+* ``meta`` (GRM0xx) — hygiene of the checker's own annotations (unused
+  suppressions);
+* ``project`` (GRM10xx) — cross-file flows over the whole-program pass:
+  interprocedural determinism taint, cache-key completeness along backend
+  call graphs, and pool-submission reachability.
 """
 
 from . import (  # noqa: F401  (import-for-registration)
@@ -27,7 +32,9 @@ from . import (  # noqa: F401  (import-for-registration)
     engine_selection,
     graph_store,
     immutability,
+    meta,
     observability,
+    project,
     purity,
     resilience,
     units,

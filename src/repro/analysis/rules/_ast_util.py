@@ -1,9 +1,18 @@
-"""Small AST helpers shared by the rule modules."""
+"""Small AST helpers shared by the rule modules.
 
-from __future__ import annotations
+The implementations live in :mod:`repro.analysis._ast_util` so the
+whole-program summarizer can use them without importing this package
+(importing ``repro.analysis.rules`` registers every rule, and the
+project rule modules depend on the summarizer — a cycle).  This module
+re-exports them under the historical location the rule modules import.
+"""
 
-import ast
-from typing import Iterator
+from repro.analysis._ast_util import (
+    call_name,
+    dotted_name,
+    iter_calls,
+    walk_functions,
+)
 
 __all__ = [
     "call_name",
@@ -11,40 +20,3 @@ __all__ = [
     "iter_calls",
     "walk_functions",
 ]
-
-
-def dotted_name(node: ast.AST) -> str | None:
-    """``a.b.c`` for a Name/Attribute chain, else ``None``.
-
-    This is purely syntactic — ``np.random`` and ``numpy.random`` are
-    different strings; rules list the aliases they care about.
-    """
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def call_name(call: ast.Call) -> str | None:
-    """Dotted name of a call's callee, else ``None``."""
-    return dotted_name(call.func)
-
-
-def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
-    """Every call expression under ``tree``."""
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Call):
-            yield node
-
-
-def walk_functions(
-    tree: ast.AST,
-) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda]:
-    """Every function-like scope under ``tree``."""
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
-            yield node

@@ -1,0 +1,37 @@
+"""Meta rules (GRM0xx): checks about the checker's own annotations."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, rule
+
+__all__ = ["unused_suppression"]
+
+
+@rule(
+    "GRM002",
+    "meta",
+    "suppression comment that silences nothing",
+    explain=(
+        "A `# gramer: ignore[...]` comment whose covered lines produce no\n"
+        "finding for the listed rules is dead weight: it documents a\n"
+        "violation that no longer exists and will silently mask a future\n"
+        "one.  Remove the comment.  If an entry must stay (say, the rule\n"
+        "only fires under a different --select set), acknowledge it\n"
+        "explicitly by adding GRM002 to the bracket:\n"
+        "`# gramer: ignore[GRM201, GRM002] -- fires only under full check`.\n"
+        "GRM002 findings are never themselves suppressible — a bare\n"
+        "unused entry would otherwise silence its own report.  Fixture\n"
+        "corpora under tests/analysis/fixtures are exempt."
+    ),
+)
+def unused_suppression(context: ModuleContext) -> Iterator[Finding]:
+    """Flag ``# gramer: ignore`` comments that no longer suppress anything.
+
+    The findings are synthesized by the engine itself (it owns the
+    record of which suppression silenced which finding, across both the
+    module and project passes); this registration exists so the rule is
+    selectable, listable, and explainable like any other.
+    """
+    return iter(())

@@ -1,0 +1,98 @@
+"""SARIF 2.1.0 rendering for ``gramer check --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning ingests, so findings surface in the Security tab and as PR
+review comments with full rule metadata.  One run object carries the
+whole rule catalog (``tool.driver.rules``) — including rules with no
+findings, so the dashboard can show what was checked — and one result
+per finding, referencing its rule by index.
+
+Only stdlib ``json`` is used; the document is deterministic (sorted
+rules, findings already sorted by the engine) so repeated runs on an
+unchanged tree are byte-identical and diff cleanly as artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from .core import Finding, Rule, all_rules
+
+__all__ = ["render_sarif", "sarif_json"]
+
+_SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptor(rule: Rule) -> dict[str, Any]:
+    descriptor: dict[str, Any] = {
+        "id": rule.rule_id,
+        "name": rule.rule_id,
+        "shortDescription": {"text": rule.summary},
+        "properties": {"family": rule.family, "scope": rule.scope},
+        "defaultConfiguration": {"level": "error"},
+    }
+    if rule.explain:
+        descriptor["fullDescription"] = {"text": rule.explain}
+    return descriptor
+
+
+def render_sarif(
+    findings: Iterable[Finding], rules: Iterable[Rule] | None = None
+) -> dict[str, Any]:
+    """Build the SARIF log object for ``findings``.
+
+    ``rules`` defaults to the full registry so the catalog travels with
+    every run; pass the selected subset to mirror ``--select``.
+    """
+    catalog = sorted(
+        rules if rules is not None else all_rules(), key=lambda r: r.rule_id
+    )
+    index = {rule.rule_id: i for i, rule in enumerate(catalog)}
+    results: list[dict[str, Any]] = []
+    for finding in findings:
+        result: dict[str, Any] = {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule_id in index:
+            result["ruleIndex"] = index[finding.rule_id]
+        results.append(result)
+    return {
+        "$schema": _SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "gramer-check",
+                        "rules": [_rule_descriptor(r) for r in catalog],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def sarif_json(
+    findings: Iterable[Finding], rules: Iterable[Rule] | None = None
+) -> str:
+    """The SARIF log as deterministic, indented JSON."""
+    return json.dumps(render_sarif(findings, rules), indent=2, sort_keys=True)

@@ -413,12 +413,40 @@ def _cmd_profile(args) -> None:
         print(registry.render_text())
 
 
+def _changed_python_files(ref: str) -> "list[Path]":
+    """Python files modified vs ``ref`` plus untracked ones (for --changed)."""
+    import subprocess
+    from pathlib import Path
+
+    def lines(*cmd: str) -> list[str]:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, check=False
+        )
+        if proc.returncode != 0:
+            message = proc.stderr.strip() or f"{' '.join(cmd)} failed"
+            raise SystemExit(f"gramer check --changed: {message}")
+        return proc.stdout.splitlines()
+
+    names = lines(
+        "git", "diff", "--name-only", "--diff-filter=d", ref, "--", "*.py"
+    )
+    names += lines(
+        "git", "ls-files", "--others", "--exclude-standard", "--", "*.py"
+    )
+    return sorted(
+        {Path(name) for name in names if name.strip() and Path(name).is_file()}
+    )
+
+
 def _cmd_check(args) -> None:
     """Run the repo's static-analysis rules (see docs/static-analysis.md)."""
+    import sys
+
     from repro.analysis import (
         RuleError,
         check_paths,
         format_finding,
+        get_rule,
         select_rules,
     )
 
@@ -426,21 +454,54 @@ def _cmd_check(args) -> None:
         for rule_ in select_rules(args.select):
             print(f"{rule_.rule_id}  [{rule_.family:13s}] {rule_.summary}")
         return
+    if args.explain:
+        try:
+            rule_ = get_rule(args.explain.upper())
+        except RuleError as exc:
+            raise SystemExit(f"gramer check: {exc}") from None
+        print(f"{rule_.rule_id}  [{rule_.family}]  {rule_.summary}")
+        if rule_.explain:
+            print()
+            print(rule_.explain)
+        return
     paths = args.paths or ["src"]
+    only = None
+    if args.changed is not None:
+        only = _changed_python_files(args.changed)
+        if not only:
+            print(
+                f"gramer check: clean (no Python files changed vs {args.changed})"
+            )
+            return
     try:
-        findings = check_paths(paths, select=args.select)
+        findings = check_paths(
+            paths,
+            select=args.select,
+            project=not args.no_project,
+            use_cache=not args.no_cache,
+            jobs=args.jobs,
+            only=only,
+        )
     except (RuleError, FileNotFoundError) as exc:
         raise SystemExit(f"gramer check: {exc}") from None
-    for finding in findings:
-        print(format_finding(finding, style=args.format))
+    if args.format == "sarif":
+        from repro.analysis.sarif import sarif_json
+
+        print(sarif_json(findings, select_rules(args.select)))
+        summary_out = sys.stderr
+    else:
+        for finding in findings:
+            print(format_finding(finding, style=args.format))
+        summary_out = sys.stdout
     if findings:
         families = sorted({f.rule_id for f in findings})
         print(
             f"gramer check: {len(findings)} finding(s) "
-            f"[{', '.join(families)}]"
+            f"[{', '.join(families)}]",
+            file=summary_out,
         )
         raise SystemExit(1)
-    print("gramer check: clean")
+    print("gramer check: clean", file=summary_out)
 
 
 def _match_digest(store, token: str) -> str:
@@ -680,10 +741,24 @@ def main(argv: list[str] | None = None) -> None:
     check.add_argument("--select", nargs="*", default=None,
                        help="rule IDs or families to run (default: all)")
     check.add_argument("--format", default="text",
-                       choices=["text", "github"],
-                       help="finding output style (github = CI annotations)")
+                       choices=["text", "github", "sarif"],
+                       help="finding output style (github = CI annotations, "
+                            "sarif = code-scanning JSON on stdout)")
     check.add_argument("--list-rules", action="store_true",
                        help="list registered rules and exit")
+    check.add_argument("--explain", metavar="GRMxxx", default=None,
+                       help="print one rule's rationale and fix guidance")
+    check.add_argument("--changed", metavar="REF", nargs="?", const="HEAD",
+                       default=None,
+                       help="only report findings in files changed vs REF "
+                            "(default HEAD); the project pass still sees "
+                            "the whole tree")
+    check.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="process-pool width for cold per-file analysis")
+    check.add_argument("--no-project", action="store_true",
+                       help="skip the whole-program pass (GRM10xx rules)")
+    check.add_argument("--no-cache", action="store_true",
+                       help="bypass the incremental analysis-record cache")
     check.set_defaults(func=_cmd_check)
 
     ds = sub.add_parser("datasets", help="list the dataset proxies")

@@ -1,0 +1,24 @@
+"""GRM1002 corpus: backends whose run call graphs read undigested fields."""
+
+from shaping import effective_tile
+from spec import FullSpec, MiniSpec, ParamSpec
+
+
+class TileBackend:
+    def run(self, spec: MiniSpec):
+        # The offending read happens one file away, in shaping.py.
+        width = effective_tile(spec)
+        return {"width": width, "key": spec.cache_key()}
+
+
+class KnobBackend:
+    def run(self, spec: ParamSpec):
+        params = spec.params_dict()
+        engine = params.get("engine", "fast")  # bad: params not digested
+        return engine
+
+
+class CleanBackend:
+    def run(self, spec: FullSpec):
+        # allowed: FullSpec's digest is complete (asdict covers tile)
+        return spec.tile

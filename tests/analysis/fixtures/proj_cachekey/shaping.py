@@ -1,0 +1,5 @@
+"""Helper whose spec-field read only a whole-program pass can attribute."""
+
+
+def effective_tile(spec):
+    return spec.tile_size * 2

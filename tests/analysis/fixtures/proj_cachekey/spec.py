@@ -1,0 +1,37 @@
+"""GRM1002 corpus: spec classes with incomplete and complete digests."""
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class MiniSpec:
+    app: str
+    dataset: str
+    tile_size: int
+
+    def cache_key(self):
+        # bad: tile_size never reaches the digest
+        return {"app": self.app, "dataset": self.dataset}
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    name: str
+    params: tuple
+
+    def cache_key(self):
+        # bad: params never reaches the digest
+        return {"name": self.name}
+
+    def params_dict(self):
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
+class FullSpec:
+    app: str
+    tile: int
+
+    def cache_key(self):
+        # allowed: serializing the whole object covers every field
+        return {"spec": asdict(self)}

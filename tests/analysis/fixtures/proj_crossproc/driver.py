@@ -1,0 +1,28 @@
+"""GRM1003 corpus: graph-sized / unpicklable payloads reaching a pool.
+
+GRM501 sees only the literal call site; these violations need the
+project pass — the graph comes out of a loader in another module, and
+the unpicklable callables are a nested function and a name bound to a
+lambda rather than a lambda literal.
+"""
+
+from loader import load_graph
+
+
+def process(item):
+    return item
+
+
+def fan_out(pool, text):
+    g = load_graph(text)
+    futures = [pool.submit(process, g) for _ in range(4)]  # bad: graph arg
+
+    def local_work(x):
+        return x + 1
+
+    pool.submit(local_work, 1)  # bad: nested function
+    handle = lambda x: x  # noqa: E731
+    pool.submit(handle, 2)  # bad: name bound to a lambda
+    digest = "sha256:abc"
+    pool.submit(process, digest)  # allowed: scalar content address
+    return futures

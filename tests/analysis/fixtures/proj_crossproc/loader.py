@@ -1,0 +1,7 @@
+"""Helper that materializes a whole graph — the GRM1003 taint origin."""
+
+from repro.graph.io import parse_edge_list
+
+
+def load_graph(text):
+    return parse_edge_list(text)

@@ -1,0 +1,41 @@
+"""GRM1001 corpus: nondeterministic values flowing into deterministic sinks.
+
+Each bad flow crosses a file boundary (see ``helpers.py``), which is
+exactly what the per-module determinism rules cannot see.  The
+sanctioned idioms sit alongside: host wall time may flow into
+``JobResult.wall_seconds`` (excluded from fingerprints), and spec-derived
+values may flow anywhere.
+"""
+
+from helpers import relabel, run_tag
+
+from repro.accel.stats import SimStats
+from repro.runtime.spec import JobResult
+
+
+def measure():
+    return relabel(0.0)
+
+
+def finish(spec):
+    elapsed = measure()
+    return JobResult(spec=spec, seconds=elapsed, ok=True)  # bad: seconds
+
+
+def finish_ok(spec, model_seconds):
+    wall = measure()
+    # allowed: wall_seconds is host provenance, excluded from fingerprints
+    return JobResult(spec=spec, seconds=model_seconds, ok=True, wall_seconds=wall)
+
+
+def cache_tag(cache):
+    return cache.get_or_create("kind", {"tag": run_tag()}, lambda: 1)  # bad: env key
+
+
+def cache_tag_ok(cache, spec):
+    # allowed: the key is a pure function of the spec
+    return cache.get_or_create("kind", {"tag": spec.label}, lambda: 1)
+
+
+def snapshot():
+    return SimStats(total_cycles=int(relabel(1.0)))  # bad: stats counter

@@ -1,0 +1,11 @@
+"""Fixture: suppressions inside fixture-excluded paths are GRM002-exempt.
+
+The second suppression below silences nothing, but because this file
+lives under ``tests/analysis/fixtures`` the engine must not report it —
+fixture corpora deliberately carry suppressions for tests to point at.
+"""
+
+import time
+
+used = time.time()  # gramer: ignore[GRM101] -- silences a real finding
+unused = 1  # gramer: ignore[GRM101] -- silences nothing, still exempt here

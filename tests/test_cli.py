@@ -177,3 +177,68 @@ class TestCLI:
         target.write_text("VALUE = 3\n")
         with pytest.raises(SystemExit, match="unknown rule"):
             main(["check", str(target), "--select", "NOPE"])
+
+    def test_check_explain_prints_rationale(self, capsys):
+        main(["check", "--explain", "GRM1002"])
+        out = capsys.readouterr().out
+        assert "GRM1002" in out
+        assert "cache" in out.lower()
+        # Rationale body, not just the one-line summary.
+        assert len(out.splitlines()) > 2
+
+    def test_check_explain_unknown_rule_errors(self):
+        with pytest.raises(SystemExit, match="unknown rule"):
+            main(["check", "--explain", "GRM424242"])
+
+    def test_check_sarif_format(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "bad.py"
+        target.write_text("import time\nstamp = time.time()\n")
+        with pytest.raises(SystemExit) as info:
+            main(["check", str(target), "--format", "sarif"])
+        assert info.value.code == 1
+        captured = capsys.readouterr()
+        log = json.loads(captured.out)
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        assert any(r["ruleId"] == "GRM101" for r in run["results"])
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"GRM002", "GRM1001", "GRM1002", "GRM1003"} <= rule_ids
+        # Human summary goes to stderr so stdout stays valid JSON.
+        assert "finding" in captured.err
+
+    def test_check_changed_scopes_to_modified_files(self, tmp_path, capsys, monkeypatch):
+        import subprocess
+
+        monkeypatch.chdir(tmp_path)
+        subprocess.run(["git", "init", "-q"], check=True)
+        subprocess.run(["git", "config", "user.email", "t@t"], check=True)
+        subprocess.run(["git", "config", "user.name", "t"], check=True)
+        committed = tmp_path / "old.py"
+        committed.write_text("import time\nstamp = time.time()\n")
+        subprocess.run(["git", "add", "-A"], check=True)
+        subprocess.run(["git", "commit", "-q", "-m", "seed"], check=True)
+        fresh = tmp_path / "fresh.py"
+        fresh.write_text("import time\nlater = time.time()\n")
+        # Only the untracked file's findings are reported.
+        with pytest.raises(SystemExit):
+            main(["check", str(tmp_path), "--changed", "HEAD"])
+        out = capsys.readouterr().out
+        assert "fresh.py" in out
+        assert "old.py" not in out
+
+    def test_check_changed_with_no_modifications_is_clean(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import subprocess
+
+        monkeypatch.chdir(tmp_path)
+        subprocess.run(["git", "init", "-q"], check=True)
+        subprocess.run(["git", "config", "user.email", "t@t"], check=True)
+        subprocess.run(["git", "config", "user.name", "t"], check=True)
+        (tmp_path / "mod.py").write_text("VALUE = 3\n")
+        subprocess.run(["git", "add", "-A"], check=True)
+        subprocess.run(["git", "commit", "-q", "-m", "seed"], check=True)
+        main(["check", str(tmp_path), "--changed"])
+        assert "clean" in capsys.readouterr().out
