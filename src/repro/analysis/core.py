@@ -591,6 +591,9 @@ def check_paths(
     files = list(iter_python_files(path_args))
 
     # -- module pass (incremental, optionally parallel) ---------------------
+    # Keyed by resolved absolute path so project findings (whose paths come
+    # from a resolved ProjectAnalysis root) match records for as-given
+    # relative arguments; records keep the as-given path for reporting.
     records: dict[str, FileRecord] = {}
     pending: list[tuple[Path, str, dict[str, Any]]] = []
     for path in files:
@@ -602,7 +605,7 @@ def check_paths(
             )
             hit, value = cache_obj.lookup("check/file", key)
             if hit and isinstance(value, FileRecord):
-                records[str(path)] = value
+                records[str(path.resolve())] = value
                 continue
         pending.append((path, relpath, key))
 
@@ -629,11 +632,11 @@ def check_paths(
     for record, key in fresh:
         if cache_obj is not None and key:
             cache_obj.store("check/file", key, record)
-        records[record.path] = record
+        records[str(Path(record.path).resolve())] = record
 
     findings: list[Finding] = []
     used: dict[str, set[int]] = {
-        path: set(record.used) for path, record in records.items()
+        resolved: set(record.used) for resolved, record in records.items()
     }
     for record in records.values():
         findings.extend(record.findings)
@@ -652,7 +655,8 @@ def check_paths(
                 for finding in r.run_project(analysis)
             ]
             for finding in raw:
-                record = records.get(finding.path)
+                resolved = str(Path(finding.path).resolve())
+                record = records.get(resolved)
                 if record is None:
                     findings.append(finding)
                     continue
@@ -660,20 +664,20 @@ def check_paths(
                 for suppression in record.suppressions:
                     if suppression.silences(finding):
                         matched = True
-                        used[finding.path].add(suppression.line)
+                        used[resolved].add(suppression.line)
                 if not matched:
                     findings.append(finding)
 
     # -- unused suppressions ------------------------------------------------
     if grm002:
-        for record in records.values():
+        for resolved, record in records.items():
             if _grm002_exempt(record.relpath):
                 continue
             findings.extend(
                 _unused_suppression_findings(
                     record.path,
                     list(record.suppressions),
-                    used[record.path],
+                    used[resolved],
                 )
             )
 

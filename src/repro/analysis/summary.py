@@ -420,11 +420,13 @@ class _FunctionWalker:
         if isinstance(node.func, ast.Attribute):
             self.atoms(node.func.value, env)
         arg_atoms = [self.atoms(arg, env) for arg in node.args]
-        kw_atoms = {kw.arg: self.atoms(kw.value, env) for kw in node.keywords}
+        # Positional, parallel to ``node.keywords``: several ``**`` expansions
+        # in one call all have ``kw.arg is None`` and must not collapse.
+        kw_atoms = [self.atoms(kw.value, env) for kw in node.keywords]
         merged: set[str] = set()
         for atoms in arg_atoms:
             merged |= atoms
-        for atoms in kw_atoms.values():
+        for atoms in kw_atoms:
             merged |= atoms
 
         self._note_sinks(node, callee, arg_atoms, kw_atoms, env)
@@ -471,24 +473,20 @@ class _FunctionWalker:
         node: ast.Call,
         callee: str | None,
         arg_atoms: list[Atoms],
-        kw_atoms: dict[str | None, Atoms],
+        kw_atoms: list[Atoms],
         env: dict[str, Atoms],
     ) -> None:
         if callee is None:
             return
         tail = callee.rsplit(".", 1)[-1]
         if tail == "JobResult":
-            for kw in node.keywords:
+            for kw, atoms in zip(node.keywords, kw_atoms):
                 if kw.arg in DETERMINISTIC_RESULT_FIELDS:
-                    self._add_sink(
-                        "result_field", kw.arg, kw.value, kw_atoms.get(kw.arg, _EMPTY)
-                    )
+                    self._add_sink("result_field", kw.arg, kw.value, atoms)
         elif tail == "SimStats":
-            for kw in node.keywords:
+            for kw, atoms in zip(node.keywords, kw_atoms):
                 if kw.arg is not None:
-                    self._add_sink(
-                        "stats_field", kw.arg, kw.value, kw_atoms.get(kw.arg, _EMPTY)
-                    )
+                    self._add_sink("stats_field", kw.arg, kw.value, atoms)
         elif tail == "stable_hash" and node.args:
             self._add_sink("cache_key", callee, node.args[0], arg_atoms[0])
         elif (
@@ -512,7 +510,7 @@ class _FunctionWalker:
         node: ast.Call,
         callee: str | None,
         arg_atoms: list[Atoms],
-        kw_atoms: dict[str | None, Atoms],
+        kw_atoms: list[Atoms],
         env: dict[str, Atoms],
     ) -> None:
         func = node.func
@@ -541,9 +539,7 @@ class _FunctionWalker:
             names.append(dotted_name(arg) or type(arg).__name__)
         for kw in node.keywords:
             names.append(kw.arg or "**")
-        payload_atoms = tuple(arg_atoms[1:]) + tuple(
-            kw_atoms[kw.arg] for kw in node.keywords
-        )
+        payload_atoms = tuple(arg_atoms[1:]) + tuple(kw_atoms)
         self.submits[(node.lineno, node.col_offset)] = Submit(
             method=func.attr,
             line=node.lineno,
@@ -825,6 +821,35 @@ def _spec_digest_info(
     )
 
 
+_TRY_TYPES: tuple[type, ...] = (
+    (ast.Try, ast.TryStar) if hasattr(ast, "TryStar") else (ast.Try,)
+)
+
+
+def _top_level_statements(stmts: Iterable[ast.stmt]) -> Iterator[ast.stmt]:
+    """Module-level statements, descending into ``if``/``try``/``with``.
+
+    Functions and classes behind version gates or import fallbacks
+    (``try: ... except ImportError: def f(): ...``) still bind module
+    names at runtime, so they belong in the project symbol table; later
+    definitions win downstream, matching Python's last-binding-wins.
+    """
+    for stmt in stmts:
+        if isinstance(stmt, ast.If):
+            yield from _top_level_statements(stmt.body)
+            yield from _top_level_statements(stmt.orelse)
+        elif isinstance(stmt, _TRY_TYPES):
+            yield from _top_level_statements(stmt.body)
+            for handler in stmt.handlers:
+                yield from _top_level_statements(handler.body)
+            yield from _top_level_statements(stmt.orelse)
+            yield from _top_level_statements(stmt.finalbody)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            yield from _top_level_statements(stmt.body)
+        else:
+            yield stmt
+
+
 def summarize_module(source: str, module: str, relpath: str) -> ModuleSummary:
     """Reduce one module's source to a :class:`ModuleSummary`.
 
@@ -838,7 +863,7 @@ def summarize_module(source: str, module: str, relpath: str) -> ModuleSummary:
     spec_classes: list[SpecClassInfo] = []
     backends: list[BackendInfo] = []
 
-    for stmt in tree.body:
+    for stmt in _top_level_statements(tree.body):
         if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
             functions.append(_summarize_function(stmt, class_name=None))
         elif isinstance(stmt, ast.ClassDef):

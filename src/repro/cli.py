@@ -427,14 +427,26 @@ def _changed_python_files(ref: str) -> "list[Path]":
             raise SystemExit(f"gramer check --changed: {message}")
         return proc.stdout.splitlines()
 
+    # Git emits repo-root-relative names; anchor everything there so the
+    # command works (and matches check_paths findings) from any CWD.
+    toplevel = lines("git", "rev-parse", "--show-toplevel")
+    if not toplevel or not toplevel[0].strip():
+        raise SystemExit("gramer check --changed: not inside a git repository")
+    root = Path(toplevel[0].strip())
     names = lines(
-        "git", "diff", "--name-only", "--diff-filter=d", ref, "--", "*.py"
+        "git", "-C", str(root), "diff", "--name-only", "--diff-filter=d",
+        ref, "--", "*.py",
     )
     names += lines(
-        "git", "ls-files", "--others", "--exclude-standard", "--", "*.py"
+        "git", "-C", str(root), "ls-files", "--others", "--exclude-standard",
+        "--", "*.py",
     )
     return sorted(
-        {Path(name) for name in names if name.strip() and Path(name).is_file()}
+        {
+            root / name
+            for name in (n.strip() for n in names)
+            if name and (root / name).is_file()
+        }
     )
 
 

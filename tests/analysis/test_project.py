@@ -101,6 +101,41 @@ class TestSummarizer:
         (backend,) = summarize_module(source, "m", "m.py").backends
         assert backend.spec_annotation == "JobSpec"
 
+    def test_multiple_doublestar_expansions_keep_distinct_atoms(self):
+        source = (
+            "import time\n"
+            "def f(pool):\n"
+            "    clean = {'x': 1}\n"
+            "    dirty = {'t': time.time()}\n"
+            "    pool.submit(task, **clean, **dirty)\n"
+        )
+        (fn,) = summarize_module(source, "m", "m.py").functions
+        (submit,) = fn.submits
+        assert submit.arg_names == ("**", "**")
+        # Each ``**`` slot carries its own dict's atoms, not the last one's.
+        assert "src:wallclock" not in submit.arg_atoms[0]
+        assert "src:wallclock" in submit.arg_atoms[1]
+
+    def test_conditional_toplevel_defs_enter_symbol_table(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "import time\n"
+            "try:\n"
+            "    from fastlib import stamp\n"
+            "except ImportError:\n"
+            "    def stamp():\n"
+            "        return time.perf_counter()\n"
+            "if True:\n"
+            "    class Late:\n"
+            "        def tick(self):\n"
+            "            return stamp()\n"
+        )
+        project = ProjectAnalysis.build(tmp_path)
+        assert project.resolve_call("mod", "stamp") == "mod:stamp"
+        assert (
+            project.resolve_call("mod", "self.tick", class_name="Late")
+            == "mod:Late.tick"
+        )
+
 
 class TestProjectResolution:
     def _tree(self, tmp_path: Path) -> Path:
@@ -344,6 +379,48 @@ class TestIncrementalCheck:
             [root], select=["project"], use_cache=False, jobs=2
         )
         assert parallel == sequential
+
+    def test_relative_dir_argument_matches_suppressions(
+        self, tmp_path, monkeypatch
+    ):
+        # The CLI default argument is the *relative* "src"; project
+        # findings carry resolved absolute paths, and suppression
+        # matching must bridge the two.
+        proj = tmp_path / "proj"
+        proj.mkdir()
+        (proj / "helpers.py").write_text(
+            "import time\n\ndef stamp():\n    return time.perf_counter()\n"
+        )
+        (proj / "backend.py").write_text(
+            "from helpers import stamp\n"
+            "def finish(spec):\n"
+            "    return JobResult(spec=spec, seconds=stamp(), ok=True)"
+            "  # gramer: ignore[GRM1001] -- exercised by the test\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        # The GRM1001 flow is suppressed AND the suppression counts as
+        # used, so GRM002 stays silent too.
+        findings = check_paths(
+            ["proj"], select=["project", "GRM002"], use_cache=False
+        )
+        assert findings == []
+
+    def test_relative_dir_argument_reports_unsuppressed_findings(
+        self, tmp_path, monkeypatch
+    ):
+        proj = tmp_path / "proj"
+        proj.mkdir()
+        (proj / "helpers.py").write_text(
+            "import time\n\ndef stamp():\n    return time.perf_counter()\n"
+        )
+        (proj / "backend.py").write_text(
+            "from helpers import stamp\n"
+            "def finish(spec):\n"
+            "    return JobResult(spec=spec, seconds=stamp(), ok=True)\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        findings = check_paths(["proj"], select=["project"], use_cache=False)
+        assert [f.rule_id for f in findings] == ["GRM1001"]
 
     def test_only_filter_scopes_reported_files(self):
         root = FIXTURES / "proj_cachekey"

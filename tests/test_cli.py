@@ -228,6 +228,32 @@ class TestCLI:
         assert "fresh.py" in out
         assert "old.py" not in out
 
+    def test_check_changed_works_from_subdirectory(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import subprocess
+
+        monkeypatch.chdir(tmp_path)
+        subprocess.run(["git", "init", "-q"], check=True)
+        subprocess.run(["git", "config", "user.email", "t@t"], check=True)
+        subprocess.run(["git", "config", "user.name", "t"], check=True)
+        tracked = tmp_path / "tracked.py"
+        tracked.write_text("VALUE = 1\n")
+        subprocess.run(["git", "add", "-A"], check=True)
+        subprocess.run(["git", "commit", "-q", "-m", "seed"], check=True)
+        tracked.write_text("import time\nstamp = time.time()\n")
+        (tmp_path / "fresh.py").write_text("import time\nlater = time.time()\n")
+        # Git names are repo-root-relative; running from a subdirectory
+        # must not silently drop them (a falsely green pre-commit).
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        monkeypatch.chdir(sub)
+        with pytest.raises(SystemExit):
+            main(["check", str(tmp_path), "--changed", "HEAD"])
+        out = capsys.readouterr().out
+        assert "tracked.py" in out
+        assert "fresh.py" in out
+
     def test_check_changed_with_no_modifications_is_clean(
         self, tmp_path, capsys, monkeypatch
     ):
