@@ -1,0 +1,116 @@
+"""Measure the memprofile analyzer: events/second over a synthesized trace.
+
+The offline analyzer (`repro.obs.locality_report.analyze_trace`) is the
+post-processing half of ``gramer memprofile``: taxonomy classification,
+Fenwick-tree Mattson stack distances, and spatial-utilization byte
+unions, per region.  This benchmark drives it with a deterministic
+synthesized trace shaped like a real mixed run — a dense sequential
+region, a strided region, and a scattered pointer-chase region — and
+records throughput in ``benchmarks/BENCH_accessreport.json``.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_accessreport.py [--smoke]
+
+Not a pytest-benchmark module on purpose: the unit is one whole report
+(what a ``memprofile`` invocation pays after the traced run), not a
+single hot function.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.obs.access import AccessTrace
+from repro.obs.locality_report import analyze_trace
+
+OUT_PATH = Path(__file__).parent / "BENCH_accessreport.json"
+
+
+def synthesize_trace(events: int) -> AccessTrace:
+    """A deterministic trace mixing the three traffic classes."""
+    trace = AccessTrace(meta={"backend": "synthetic", "app": "bench"})
+    third = events // 3
+    # Dense sequential adjacency stream (row hits).
+    for i in range(third):
+        trace.record("lamh.edge", "adjacency", i * 8, 8, "r", "offchip", i)
+    # Constant large stride over vertex records.
+    for i in range(third):
+        trace.record(
+            "lamh.vertex", "on1-rank", i * 4096, 8, "r", "offchip", i
+        )
+    # Scattered pointer chase with heavy reuse (LCG, fixed seed).
+    state = 0xDEADBEEF
+    for i in range(events - 2 * third):
+        state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        address = (state >> 16) % (1 << 20)
+        trace.record(
+            "priority_cache.edge",
+            "priority-cache",
+            address,
+            8,
+            "w",
+            "low",
+            i,
+        )
+    return trace
+
+
+def measure(events: int, repeat: int) -> dict:
+    trace = synthesize_trace(events)
+    best_s = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        payload = analyze_trace(trace)
+        elapsed = time.perf_counter() - start
+        best_s = elapsed if best_s is None else min(best_s, elapsed)
+    assert best_s is not None
+    return {
+        "events": len(trace),
+        "regions": len(payload["regions"]),
+        "analyze_s": best_s,
+        "best_of": repeat,
+        "events_per_s": len(trace) / best_s,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--events", type=int, default=300_000,
+                        help="synthesized trace length (default 300k)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="analyzer runs; best-of is recorded (default 3)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small trace + throughput floor (CI gate)")
+    parser.add_argument("--out", default=str(OUT_PATH),
+                        help=f"output JSON path (default {OUT_PATH})")
+    args = parser.parse_args()
+
+    events = 30_000 if args.smoke else args.events
+    record = measure(events, args.repeat)
+    Path(args.out).write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+
+    print(f"trace: {record['events']:,} events, "
+          f"{record['regions']} regions")
+    print(f"analyze: {record['analyze_s'] * 1e3:9.2f} ms "
+          f"(best of {record['best_of']})")
+    print(f"throughput: {record['events_per_s'] / 1e3:,.0f}k events/s")
+    print(f"wrote {args.out}")
+
+    if args.smoke:
+        floor = 50_000.0
+        assert record["events_per_s"] >= floor, (
+            f"analyzer at {record['events_per_s']:,.0f} events/s; expected "
+            f">= {floor:,.0f} — the O(n log n) reuse engine has regressed"
+        )
+        print("smoke ok: throughput above floor")
+        return
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

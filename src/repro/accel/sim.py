@@ -51,6 +51,7 @@ from .pu import ProcessingUnit
 from .stats import SimStats
 
 if TYPE_CHECKING:
+    from repro.obs.access import AccessTrace
     from repro.obs.hooks import SimInstrument
 
 __all__ = [
@@ -100,6 +101,7 @@ def make_simulator(
     vertex_rank: np.ndarray | None = None,
     use_on1_ranks: bool = True,
     instrument: "SimInstrument | None" = None,
+    access_trace: "AccessTrace | None" = None,
 ):
     """Construct a GRAMER simulator with engine selection.
 
@@ -110,21 +112,22 @@ def make_simulator(
     ``engine="fast"`` (the default) returns the batched engine, which is
     bit-identical to the reference on every ``SimStats`` field (proven by
     ``tests/differential/``).  ``engine="reference"`` forces the
-    event-by-event model.  Passing an ``instrument`` always selects the
-    reference engine: observability hooks fire on per-event state the
-    fast engine does not materialise.
+    event-by-event model.  Passing an ``instrument`` or an
+    ``access_trace`` always selects the reference engine: observability
+    hooks fire on per-event state the fast engine does not materialise.
     """
     if engine not in ENGINES:
         raise ValueError(
             f"unknown engine {engine!r}; expected one of {ENGINES}"
         )
-    if instrument is not None or engine == "reference":
+    if instrument is not None or access_trace is not None or engine == "reference":
         return GramerSimulator(
             graph,
             config,
             vertex_rank=vertex_rank,
             use_on1_ranks=use_on1_ranks,
             instrument=instrument,
+            access_trace=access_trace,
         )
     from .fastsim import FastGramerSimulator
 
@@ -213,13 +216,24 @@ class GramerSimulator:
         vertex_rank: np.ndarray | None = None,
         use_on1_ranks: bool = True,
         instrument: "SimInstrument | None" = None,
+        access_trace: "AccessTrace | None" = None,
     ) -> None:
         self.graph = graph
         self.config = config if config is not None else GramerConfig()
         # Purely observational (repro.obs.hooks.SimInstrument); every hook
         # reads simulator state and never writes it, so a traced run is
-        # bit-identical to an untraced one.
+        # bit-identical to an untraced one.  The same contract covers the
+        # access trace: the hierarchy/cache observers and the ancestor
+        # emitter only append events.
         self.instrument = instrument
+        self.access_trace = access_trace
+        self._emit_ancestor = None
+        if access_trace is not None:
+            from repro.obs.hooks import ancestor_push_emitter
+
+            self._emit_ancestor = ancestor_push_emitter(
+                access_trace, depth_capacity=self.config.ancestor_depth
+            )
         self.vertex_rank = resolve_vertex_rank(graph, vertex_rank, use_on1_ranks)
         self._reset()
 
@@ -244,6 +258,10 @@ class GramerSimulator:
         self.partition_free = [0] * cfg.num_partitions
         self.stats = SimStats()
         self._recorder = _RecordingMemory()
+        if self.access_trace is not None:
+            from repro.obs.hooks import attach_access_observers
+
+            attach_access_observers(self.hierarchy, self.access_trace)
 
     # -- functional phase ---------------------------------------------------
 
@@ -285,6 +303,10 @@ class GramerSimulator:
                                 f"capacity {cfg.ancestor_depth}"
                             )
                         slot.stack.append(Frame(vertices, columns))
+                        if self._emit_ancestor is not None:
+                            self._emit_ancestor(
+                                slot.slot_id, len(slot.stack), slot.time
+                            )
                         # §V-C: every embedding the Scheduler receives
                         # re-records its slot, keeping busy slots visible
                         # to idle thieves.
@@ -318,6 +340,11 @@ class GramerSimulator:
             ) % cfg.num_partitions
         start = max(slot.time, self.partition_free[partition_index])
         self.partition_free[partition_index] = start + 1
+        trace = self.access_trace
+        if trace is not None:
+            # Stamp the trace clock with the request's service time; the
+            # hierarchy observers emit at this timestamp.
+            trace.cycle = start
         if kind == _OP_VERTEX:
             level = self.hierarchy.access_vertex(address)
         else:

@@ -11,6 +11,17 @@ captured in CI logs, and they contaminate machine-readable stdout.
   (``repro/experiments/report.py``), the obs log module itself (it owns
   the one sanctioned ``print``), and ``if __name__ == "__main__":``
   blocks (script entry points printing their own output).
+
+* ``GRM602`` — raw tracer-primitive calls (``.emit`` / ``.complete`` /
+  ``.instant`` / ``.counter`` / ``.metadata`` on a tracer-named
+  receiver) outside ``repro/obs/``.  Event *shapes* belong to the obs
+  layer: callers go through the typed emit helpers in
+  ``repro.obs.hooks`` (``emit_job_event``, ``emit_job_retry``, the
+  observer factories) so names, categories, and pid/tid conventions
+  stay consistent and greppable in one module.  Receivers are matched
+  by name (``tracer``, ``self.tracer``, ``self._tracer`` …), so
+  ``registry.counter(...)`` — a metrics accessor, not a trace emit —
+  never fires.
 """
 
 from __future__ import annotations
@@ -79,4 +90,48 @@ def bare_print(context: ModuleContext) -> Iterator[Finding]:
             "bare print() — diagnostics go through "
             "repro.obs.log.get_logger() (leveled, stderr) and deliberate "
             "user-facing output through repro.obs.log.console()",
+        )
+
+
+_TRACER_PRIMITIVES = frozenset(
+    {"emit", "complete", "instant", "counter", "metadata"}
+)
+
+
+def _receiver_name(node: ast.expr) -> str | None:
+    """Innermost attribute/name of a call receiver (``a.b.tracer`` → ``tracer``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_tracer_receiver(name: str | None) -> bool:
+    return name is not None and name.lstrip("_").lower().endswith("tracer")
+
+
+@rule(
+    "GRM602",
+    "observability",
+    "raw tracer-primitive call outside the obs layer's typed emit helpers",
+)
+def raw_tracer_emit(context: ModuleContext) -> Iterator[Finding]:
+    if "repro/obs/" in context.relpath:
+        return  # the obs layer owns the primitives (hooks.py wraps them)
+    for node in ast.walk(context.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _TRACER_PRIMITIVES
+        ):
+            continue
+        if not _is_tracer_receiver(_receiver_name(node.func.value)):
+            continue
+        yield context.finding(
+            node,
+            "GRM602",
+            f"raw tracer .{node.func.attr}() — event shapes belong to the "
+            "obs layer; emit through a typed helper in repro.obs.hooks "
+            "(emit_job_event, emit_job_retry, or a new helper beside them)",
         )

@@ -109,6 +109,10 @@ class CPUMemory:
         self.breakdown = CPUTimeBreakdown()
         self._edge_region_base = graph.num_vertices * cfg.entry_bytes
         self._num_edge_slots = len(graph.neighbors)
+        # Optional post-L2 miss observer (repro.obs.hooks attaches one for
+        # access-traced runs): called with (byte_address, is_vertex,
+        # went_to_dram) after the stall is charged.  Purely observational.
+        self.observer = None
 
         def level(total_bytes: int) -> SetAssociativeCache:
             lines = max(cfg.ways, total_bytes // cfg.line_bytes)
@@ -137,8 +141,11 @@ class CPUMemory:
                 return
         else:
             stall = cfg.l2_latency + cfg.l3_latency
-            if not self.l3.access(byte_address):
+            l3_hit = self.l3.access(byte_address)
+            if not l3_hit:
                 stall += cfg.dram_latency
+            if self.observer is not None:
+                self.observer(byte_address, is_vertex, not l3_hit)
         if is_vertex:
             bd.vertex_stall_cycles += stall
         else:

@@ -15,12 +15,16 @@ run.  Constants are documented calibration values (DESIGN.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.graph.csr import CSRGraph
 from repro.mining.apps.base import Application, MiningResult
 from repro.mining.engine import run_dfs
 
 from .cpu import CPUConfig, CPUMemory, CPUTimeBreakdown
+
+if TYPE_CHECKING:
+    from repro.obs.access import AccessTrace
 
 __all__ = ["FractalModel", "BaselineResult", "FRACTAL_TASK_OVERHEAD_S"]
 
@@ -73,10 +77,23 @@ class FractalModel:
         )
         self.task_overhead_s = task_overhead_s
 
-    def run(self, graph: CSRGraph, app: Application) -> BaselineResult:
-        """Mine ``graph`` with ``app``; returns results plus modeled time."""
+    def run(
+        self,
+        graph: CSRGraph,
+        app: Application,
+        access_trace: "AccessTrace | None" = None,
+    ) -> BaselineResult:
+        """Mine ``graph`` with ``app``; returns results plus modeled time.
+
+        ``access_trace`` attaches the post-L2 miss observer (purely
+        observational — the result is identical to an untraced run).
+        """
         memory = CPUMemory(graph, self.cpu_config)
         memory.warm()  # timing starts after the graph is loaded (§VI-B)
+        if access_trace is not None:
+            from repro.obs.hooks import attach_cpu_observer
+
+            attach_cpu_observer(memory, access_trace)
         run_dfs(graph, app, mem=memory)
         memory.charge_candidate(app.candidates_checked)
         return BaselineResult(

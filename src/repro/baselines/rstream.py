@@ -16,6 +16,8 @@ exhaustion to a typed failure instead of an OOM.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.graph.csr import CSRGraph
 from repro.memory.disk import DiskModel, OutOfDiskError
 from repro.mining.apps.base import Application
@@ -23,6 +25,9 @@ from repro.mining.engine import FrontierOverflowError, run_bfs
 
 from .cpu import CPUConfig, CPUMemory
 from .fractal import BaselineResult
+
+if TYPE_CHECKING:
+    from repro.obs.access import AccessTrace
 
 __all__ = [
     "RStreamModel",
@@ -64,15 +69,28 @@ class RStreamModel:
         self.startup_overhead_s = startup_overhead_s
         self.max_frontier = max_frontier
 
-    def run(self, graph: CSRGraph, app: Application) -> BaselineResult:
+    def run(
+        self,
+        graph: CSRGraph,
+        app: Application,
+        access_trace: "AccessTrace | None" = None,
+    ) -> BaselineResult:
         """Mine ``graph`` level-synchronously; returns results + modeled time.
 
         On frontier/disk exhaustion returns a failed result carrying the
-        paper's 'N/A' marker.
+        paper's 'N/A' marker.  ``access_trace`` attaches the post-L2 miss
+        observer plus the embedding-region disk-spill emitter (purely
+        observational — the result is identical to an untraced run).
         """
         memory = CPUMemory(graph, self.cpu_config)
         memory.warm()  # timing starts after the graph is loaded (§VI-B)
         disk = self.disk
+        emit_spill = None
+        if access_trace is not None:
+            from repro.obs.hooks import attach_cpu_observer, disk_spill_emitter
+
+            attach_cpu_observer(memory, access_trace)
+            emit_spill = disk_spill_emitter(access_trace)
 
         def observe_frontier(size: int, count: int, candidates: int) -> None:
             # RStream's relational plan materialises the join intermediates
@@ -84,6 +102,9 @@ class RStreamModel:
             disk.write(join_bytes + level_bytes)
             disk.read(level_bytes)
             disk.free(join_bytes + level_bytes)
+            if emit_spill is not None:
+                emit_spill(join_bytes + level_bytes, "w")
+                emit_spill(level_bytes, "r")
 
         try:
             run_bfs(

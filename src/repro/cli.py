@@ -215,6 +215,17 @@ def _cmd_sweep(args) -> None:
 
         tracer = Tracer()
 
+    access_traces = None
+    if args.access_report:
+        if args.resume:
+            raise SystemExit(
+                "--access-report re-runs every cell traced (inline, cache "
+                "bypassed) and cannot be combined with --resume"
+            )
+        from repro.obs import AccessTraceSet
+
+        access_traces = AccessTraceSet()
+
     # Resume: replay the ledger and lift completed cells out of the grid
     # before the executor ever sees them (docs/resilience.md).
     resume_state = load_ledger(args.resume) if args.resume else None
@@ -252,7 +263,11 @@ def _cmd_sweep(args) -> None:
     )
     start = time.perf_counter()
     try:
-        fresh = executor.run(pending) if pending else []
+        fresh = (
+            executor.run(pending, access_traces=access_traces)
+            if pending
+            else []
+        )
     except KeyboardInterrupt:
         wall = time.perf_counter() - start
         print(f"\ninterrupted after {wall:.2f}s; "
@@ -313,6 +328,25 @@ def _cmd_sweep(args) -> None:
     if tracer is not None:
         path = tracer.write_chrome(args.trace)
         print(f"wrote {path} ({len(tracer)} executor events)")
+    if access_traces is not None:
+        from pathlib import Path
+
+        from repro.obs import (
+            aggregate_reports,
+            analyze_trace,
+            render_access_table_markdown,
+        )
+
+        items = [
+            (label, analyze_trace(trace))
+            for label, trace in access_traces
+            if len(trace)  # backends without a traced path stay empty
+        ]
+        Path(args.access_report).write_text(
+            render_access_table_markdown(aggregate_reports(items)),
+            encoding="utf-8",
+        )
+        print(f"wrote {args.access_report} ({len(items)} traced cell(s))")
     if args.out:
         save_results(
             {
@@ -343,6 +377,105 @@ def _cmd_sweep(args) -> None:
         raise SystemExit(
             EXIT_TOTAL_FAILURE if failed == len(results) else EXIT_PARTIAL
         )
+
+
+def _memprofile_payload(
+    backend: str, args, cache, channel: dict[str, int]
+) -> dict:
+    """One backend's locality report, content-addressed in the cache.
+
+    The report is keyed by the spec's cache key plus the channel
+    parameters, so re-profiling an unchanged cell is a cache hit; the
+    traced run itself always bypasses the job cache (a trace only exists
+    if the run actually executes).
+    """
+    from repro.experiments.harness import cell_jobspec
+    from repro.obs import AccessTrace, analyze_trace
+    from repro.runtime import run_spec
+
+    spec = cell_jobspec(backend, args.app, args.dataset, args.scale)
+    key = {"spec": spec.cache_key(), "channel": channel}
+
+    def produce() -> dict:
+        trace = AccessTrace(
+            meta={
+                "backend": backend,
+                "app": args.app,
+                "graph": args.dataset,
+                "scale": args.scale,
+            }
+        )
+        result = run_spec(
+            spec, use_cache=False, cache=cache, access_trace=trace
+        )
+        if not result.ok:
+            raise SystemExit(f"{spec.label()} failed: {result.error}")
+        return analyze_trace(trace, **channel)
+
+    if args.no_cache:
+        return produce()
+    return cache.get_or_create("obs/access", key, produce)
+
+
+def _cmd_memprofile(args) -> None:
+    """Access-traced runs + locality report (docs/access-patterns.md)."""
+    import json
+
+    from repro.experiments import datasets
+    from repro.obs import (
+        compare_reports,
+        render_memprofile,
+        render_memprofile_compare,
+        render_memprofile_markdown,
+    )
+    from repro.runtime import backend_names, default_cache
+
+    if args.graph:
+        raise SystemExit(
+            "memprofile needs a registered dataset (--dataset NAME); "
+            "ad-hoc --graph files have no stable cache identity"
+        )
+    if not args.dataset:
+        raise SystemExit("specify --dataset NAME (see `gramer datasets`)")
+    if args.dataset not in datasets.DATASETS:
+        raise SystemExit(
+            f"unknown dataset {args.dataset!r}; see `gramer datasets`"
+        )
+    backends = list(args.compare) if args.compare else args.backends
+    known = backend_names()
+    for backend in backends:
+        if backend not in known:
+            raise SystemExit(
+                f"unknown backend {backend!r}; registered: {known}"
+            )
+    channel = {
+        "row_bytes": args.row_bytes,
+        "streams": args.streams,
+        "line_bytes": args.line_bytes,
+    }
+    cache = default_cache()
+    reports = {
+        backend: _memprofile_payload(backend, args, cache, channel)
+        for backend in backends
+    }
+    if args.compare:
+        a, b = args.compare
+        text = render_memprofile_compare(
+            compare_reports(a, reports[a], b, reports[b])
+        )
+    elif args.format == "json":
+        text = json.dumps(reports, indent=2, sort_keys=True)
+    elif args.format == "markdown":
+        text = render_memprofile_markdown(reports)
+    else:
+        text = render_memprofile(reports)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
 
 
 def _cmd_trace(args) -> None:
@@ -701,6 +834,10 @@ def main(argv: list[str] | None = None) -> None:
                        help="recompute cells instead of reusing cached results")
     sweep.add_argument("--out", default=None,
                        help="write structured sweep results to this JSON file")
+    sweep.add_argument("--access-report", default=None, metavar="PATH",
+                       help="re-run every cell with the memory-access "
+                            "observatory attached and write a markdown "
+                            "locality table (docs/access-patterns.md)")
     sweep.add_argument("--trace", default=None, metavar="PATH",
                        help="write a Chrome-trace of job lifecycle to PATH")
     sweep.add_argument("--engine", default=DEFAULT_ENGINE,
@@ -708,6 +845,37 @@ def main(argv: list[str] | None = None) -> None:
                        help="simulation engine for gramer cells "
                             "(results are byte-identical either way)")
     sweep.set_defaults(func=_cmd_sweep)
+
+    memprofile = sub.add_parser(
+        "memprofile", parents=[common],
+        help="memory-access observatory: per-backend traffic taxonomy, "
+             "reuse distances, and locality comparison",
+    )
+    memprofile.add_argument("--backends", nargs="+",
+                            default=["gramer", "fractal", "rstream"],
+                            help="backends to profile (default: all three)")
+    memprofile.add_argument("--compare", nargs=2, default=None,
+                            metavar=("A", "B"),
+                            help="render a two-backend locality diff "
+                                 "instead of per-backend tables")
+    memprofile.add_argument("--format", default="text",
+                            choices=["text", "json", "markdown"],
+                            help="report renderer (default: text)")
+    memprofile.add_argument("--out", default=None, metavar="PATH",
+                            help="write the report to a file instead of "
+                                 "stdout")
+    memprofile.add_argument("--row-bytes", type=int, default=1024,
+                            help="DRAM row size for the open-row "
+                                 "sequential classifier (default: 1024)")
+    memprofile.add_argument("--streams", type=int, default=8,
+                            help="tracked open-row streams (default: 8)")
+    memprofile.add_argument("--line-bytes", type=int, default=64,
+                            help="cache-line size for reuse distance and "
+                                 "spatial utilization (default: 64)")
+    memprofile.add_argument("--no-cache", action="store_true",
+                            help="recompute the report even if an "
+                                 "identical one is cached")
+    memprofile.set_defaults(func=_cmd_memprofile)
 
     trace = sub.add_parser(
         "trace",

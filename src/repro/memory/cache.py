@@ -62,6 +62,10 @@ class SetAssociativeCache:
         self.line_size = line_size
         self.policy = policy if policy is not None else LRUPolicy()
         self.stats = CacheStats()
+        # Optional fill observer (repro.obs.hooks attaches one for
+        # access-traced runs): called with (tag, rank) after a miss
+        # installs its line.  Purely observational.
+        self.fill_observer = None
         self._sets = [
             [LineState() for _ in range(ways)] for _ in range(num_sets)
         ]
@@ -105,6 +109,8 @@ class SetAssociativeCache:
         for line in lines:
             if not line.valid:
                 self._install(line, tag, rank)
+                if self.fill_observer is not None:
+                    self.fill_observer(tag, rank)
                 return
         way = self.policy.victim(lines, self._clock)
         if not 0 <= way < self.ways:
@@ -114,6 +120,8 @@ class SetAssociativeCache:
         self.stats.evictions += 1
         self._set_evictions[set_index] += 1
         self._install(lines[way], tag, rank)
+        if self.fill_observer is not None:
+            self.fill_observer(tag, rank)
 
     def _install(self, line: LineState, tag: int, rank: int) -> None:
         line.valid = True

@@ -94,6 +94,10 @@ class MemorySide:
         self.low_cache = low_cache
         self.address_offset = address_offset
         self.stats = SideStats()
+        # Optional access-event observer (repro.obs.hooks attaches one for
+        # access-traced runs).  Purely observational: called with values
+        # this method already computed, after all state transitions.
+        self.observer = None
 
     @property
     def capacity_entries(self) -> int:
@@ -104,12 +108,16 @@ class MemorySide:
         """Serve one request: priority test, then cache lookup."""
         if self.scratchpad.access(rank):
             self.stats.high_hits += 1
-            return AccessLevel.HIGH
-        if self.low_cache.access(address + self.address_offset, rank):
+            level = AccessLevel.HIGH
+        elif self.low_cache.access(address + self.address_offset, rank):
             self.stats.low_hits += 1
-            return AccessLevel.LOW_HIT
-        self.stats.misses += 1
-        return AccessLevel.MISS
+            level = AccessLevel.LOW_HIT
+        else:
+            self.stats.misses += 1
+            level = AccessLevel.MISS
+        if self.observer is not None:
+            self.observer(address, rank, level)
+        return level
 
     def publish(self, registry: "MetricsRegistry") -> None:
         """Publish this side's level counters into a metrics registry."""

@@ -18,7 +18,24 @@ Three pillars (see ``docs/observability.md``):
 by ``gramer check`` rule GRM601.
 """
 
+from .access import (
+    ACCESS_SCHEMA_VERSION,
+    AccessEvent,
+    AccessSchemaError,
+    AccessTrace,
+    AccessTraceSet,
+    validate_access_event,
+)
 from .hooks import SimInstrument
+from .locality_report import (
+    aggregate_reports,
+    analyze_trace,
+    compare_reports,
+    reuse_profile,
+    spatial_utilization,
+    stack_distances,
+    taxonomy,
+)
 from .log import console, get_logger
 from .metrics import (
     Counter,
@@ -27,27 +44,41 @@ from .metrics import (
     MetricsRegistry,
     percentile,
 )
-from .report import render_profile
+from .report import (
+    render_access_table_markdown,
+    render_memprofile,
+    render_memprofile_compare,
+    render_memprofile_markdown,
+    render_profile,
+)
 from .timeline import TimelineSampler, TimelineWindow
 from .tracer import (
     CATEGORY_EXECUTOR,
     CATEGORY_MEMORY,
     CATEGORY_PU,
     CATEGORY_STEAL,
+    TRACE_SCHEMA_VERSION,
     NullTracer,
     PID_EXECUTOR,
     PID_TIMELINE,
     SIM_PID_BASE,
     TraceEvent,
+    TraceSchemaError,
     Tracer,
+    read_jsonl,
     validate_event,
 )
 
 __all__ = [
+    "ACCESS_SCHEMA_VERSION",
     "CATEGORY_EXECUTOR",
     "CATEGORY_MEMORY",
     "CATEGORY_PU",
     "CATEGORY_STEAL",
+    "AccessEvent",
+    "AccessSchemaError",
+    "AccessTrace",
+    "AccessTraceSet",
     "Counter",
     "Gauge",
     "Histogram",
@@ -57,13 +88,27 @@ __all__ = [
     "PID_TIMELINE",
     "SIM_PID_BASE",
     "SimInstrument",
+    "TRACE_SCHEMA_VERSION",
     "TimelineSampler",
     "TimelineWindow",
     "TraceEvent",
+    "TraceSchemaError",
     "Tracer",
+    "aggregate_reports",
+    "analyze_trace",
+    "compare_reports",
     "console",
     "get_logger",
     "percentile",
+    "read_jsonl",
+    "render_access_table_markdown",
+    "render_memprofile",
+    "render_memprofile_compare",
+    "render_memprofile_markdown",
     "render_profile",
-    "validate_event",
+    "reuse_profile",
+    "spatial_utilization",
+    "stack_distances",
+    "taxonomy",
+    "validate_access_event",
 ]

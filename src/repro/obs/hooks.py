@@ -19,20 +19,31 @@ per slot) and the closed timeline windows, both of which feed the
 
 from __future__ import annotations
 
-from typing import Protocol, Sequence
+from typing import Callable, Protocol, Sequence
 
+from .access import ACCESS_ENTRY_BYTES, AccessTrace
 from .metrics import MetricsRegistry
 from .timeline import TimelineSampler, TimelineWindow
 from .tracer import (
+    CATEGORY_EXECUTOR,
     CATEGORY_MEMORY,
     CATEGORY_PU,
     CATEGORY_STEAL,
+    PID_EXECUTOR,
     PID_TIMELINE,
     SIM_PID_BASE,
     Tracer,
 )
 
-__all__ = ["SimInstrument"]
+__all__ = [
+    "SimInstrument",
+    "attach_access_observers",
+    "attach_cpu_observer",
+    "ancestor_push_emitter",
+    "disk_spill_emitter",
+    "emit_job_event",
+    "emit_job_retry",
+]
 
 _KIND_NAMES = ("vertex", "edge")
 
@@ -214,3 +225,220 @@ class SimInstrument:
             s,
             attempts=attempts,
         )
+
+
+# -- typed access-event emit helpers ----------------------------------------
+#
+# All memory-access events flow through the helpers below (gramer check
+# rule GRM602): producers attach a closure built here instead of writing
+# ad-hoc dicts, so the AccessEvent schema has exactly one author.
+
+_SIDE_REGION = {"vertex": "on1-rank", "edge": "adjacency"}
+_LEVEL_NAMES = {"high": "high", "low_hit": "low", "miss": "offchip"}
+
+
+class _SideLike(Protocol):
+    name: str
+    observer: "Callable[[int, int, object], None] | None"
+    low_cache: object
+
+
+class _HierarchyLike(Protocol):
+    vertex_side: _SideLike
+    edge_side: _SideLike
+
+
+def _side_observer(
+    side_name: str, trace: AccessTrace, entry_bytes: int
+) -> "Callable[[int, int, object], None]":
+    region = _SIDE_REGION.get(side_name, side_name)
+    component = f"lamh.{side_name}"
+
+    def observe(address: int, rank: int, level: object) -> None:
+        # Rank space: after ON1 reordering the rank *is* the physical
+        # address, so off-chip fills land at rank * entry_bytes.
+        trace.record(
+            component=component,
+            region=region,
+            address=rank * entry_bytes,
+            size=entry_bytes,
+            rw="r",
+            level=_LEVEL_NAMES[getattr(level, "value", str(level))],
+        )
+
+    return observe
+
+
+def _fill_observer(
+    side_name: str, trace: AccessTrace, line_entries: int, entry_bytes: int
+) -> "Callable[[int, int], None]":
+    component = f"priority_cache.{side_name}"
+    line_bytes = max(1, line_entries) * entry_bytes
+
+    def observe(tag: int, rank: int) -> None:
+        trace.record(
+            component=component,
+            region="priority-cache",
+            address=tag * line_bytes,
+            size=line_bytes,
+            rw="w",
+            level="low",
+        )
+
+    return observe
+
+
+def attach_access_observers(
+    hierarchy: _HierarchyLike,
+    trace: AccessTrace,
+    entry_bytes: int = ACCESS_ENTRY_BYTES,
+) -> None:
+    """Route LAMH service traffic + low-cache fills into ``trace``.
+
+    Installs the per-side observers on a freshly built hierarchy; the
+    simulator updates ``trace.cycle`` as its clock advances, so events
+    carry service-time timestamps.  Observers only read the arguments the
+    hierarchy already computes — zero perturbation.
+    """
+    for side in (hierarchy.vertex_side, hierarchy.edge_side):
+        side.observer = _side_observer(side.name, trace, entry_bytes)
+        cache = side.low_cache
+        cache.fill_observer = _fill_observer(
+            side.name, trace, getattr(cache, "line_size", 1), entry_bytes
+        )
+
+
+def ancestor_push_emitter(
+    trace: AccessTrace,
+    depth_capacity: int,
+    entry_bytes: int = ACCESS_ENTRY_BYTES,
+) -> "Callable[[int, int, int], None]":
+    """Emitter for GRAMER ancestor-buffer pushes (one record per frame)."""
+
+    def emit(slot_id: int, depth: int, cycle: int) -> None:
+        trace.record(
+            component="pu.scheduler",
+            region="ancestor-buffer",
+            address=(slot_id * depth_capacity + depth) * entry_bytes,
+            size=entry_bytes,
+            rw="w",
+            level="high",
+            cycle=cycle,
+        )
+
+    return emit
+
+
+class _CPUMemoryLike(Protocol):
+    observer: "Callable[[int, bool, bool], None] | None"
+
+
+def attach_cpu_observer(
+    memory: _CPUMemoryLike,
+    trace: AccessTrace,
+    entry_bytes: int = ACCESS_ENTRY_BYTES,
+) -> None:
+    """Route a CPU baseline's post-L2 miss stream into ``trace``.
+
+    The baseline stall model charges the full L2+L3 (and possibly DRAM)
+    latency exactly at this boundary, so it is the CPU-side equivalent of
+    the LAMH miss channel.  Addresses stay in the model's vid-space
+    layout (CSR offsets array, then neighbors array).
+    """
+    counter = {"n": 0}
+
+    def observe(byte_address: int, is_vertex: bool, dram: bool) -> None:
+        counter["n"] += 1
+        trace.record(
+            component="cpu.llc" if not dram else "cpu.mem",
+            region="on1-rank" if is_vertex else "adjacency",
+            address=byte_address,
+            size=entry_bytes,
+            rw="r",
+            level="offchip",
+            cycle=counter["n"],
+        )
+
+    memory.observer = observe
+
+
+def disk_spill_emitter(trace: AccessTrace) -> "Callable[[int, str], None]":
+    """Emitter for RStream's embedding-region SSD traffic.
+
+    Spills append sequentially; a byte cursor per direction models the
+    stream layout (written once, read back once).
+    """
+    state = {"cursor": 0, "n": 0}
+
+    def emit(nbytes: int, rw: str) -> None:
+        if nbytes <= 0:
+            return
+        state["n"] += 1
+        trace.record(
+            component="disk",
+            region="embedding",
+            address=state["cursor"],
+            size=nbytes,
+            rw=rw,
+            level="offchip",
+            cycle=state["n"],
+        )
+        if rw == "w":
+            state["cursor"] += nbytes
+
+    return emit
+
+
+# -- typed executor trace-event helpers -------------------------------------
+
+
+def emit_job_event(
+    tracer: Tracer,
+    label: str,
+    now_us: float,
+    wall_seconds: float,
+    cached: bool,
+    **args: object,
+) -> None:
+    """One job's lifecycle event: an instant if cached, else a span.
+
+    ``cached`` is stamped into the event args, so callers must not pass
+    it again through ``**args``.
+    """
+    if cached:
+        tracer.instant(
+            f"job {label}",
+            CATEGORY_EXECUTOR,
+            now_us,
+            PID_EXECUTOR,
+            0,
+            cached=True,
+            **args,
+        )
+    else:
+        dur_us = wall_seconds * 1e6
+        tracer.complete(
+            f"job {label}",
+            CATEGORY_EXECUTOR,
+            max(now_us - dur_us, 0.0),
+            dur_us,
+            PID_EXECUTOR,
+            0,
+            cached=False,
+            **args,
+        )
+
+
+def emit_job_retry(
+    tracer: Tracer, label: str, now_us: float, attempt: int, error: str
+) -> None:
+    """An executor-level retry of one job (transient failure)."""
+    tracer.instant(
+        f"retry {label}",
+        CATEGORY_EXECUTOR,
+        now_us,
+        PID_EXECUTOR,
+        0,
+        attempt=attempt,
+        error=error,
+    )

@@ -1,0 +1,391 @@
+"""Offline analyzer for access traces: taxonomy, reuse distance, utilization.
+
+Turns the raw :class:`~repro.obs.access.AccessTrace` event stream into the
+``gramer memprofile`` report: a per-region traffic taxonomy in the style
+of Dann et al.'s memory-access-pattern studies (arXiv:2010.13619,
+2104.07776), exact Mattson stack-distance (reuse-distance) histograms,
+and cache-line spatial-utilization scores.
+
+Traffic channel
+---------------
+For the data regions (``adjacency``, ``on1-rank``, ``embedding``) the
+analyzer looks at the **off-chip channel** — events with
+``level == "offchip"``, i.e. the requests that left each backend's
+locality-capture structure (GRAMER: LAMH miss fills in rank space; CPU
+baselines: L2-miss fills; RStream embeddings: SSD spills).  That is the
+stream a DRAM controller sees, and the boundary at which the paper's
+locality claim is testable.  The on-chip bookkeeping regions
+(``ancestor-buffer``, ``priority-cache``) are analyzed over all of their
+events.
+
+Sequential / strided / random
+-----------------------------
+An access is **sequential** when it lands in (or directly after) one of
+the ``streams`` most-recently-open DRAM rows of ``row_bytes`` bytes — an
+open-row/stream-prefetcher model: such a request is serviced as a row
+hit or a trivially prefetchable next-row.  A non-sequential access whose
+address delta repeats the stream's previous delta is **strided**;
+everything else is **random**.  The defaults (1 KiB rows, 8 tracked
+streams) model a modest DDR row-buffer + stream-detector front end; the
+request-level channels in tests use line-sized rows.
+
+Reuse distance
+--------------
+Exact Mattson stack distance at cache-line granularity: the number of
+*distinct* other lines referenced between consecutive references to the
+same line (0 = immediate re-reference).  Cold (compulsory) first
+references are counted separately and excluded from the percentiles.
+The implementation is the classic O(n log n) ordered-structure algorithm
+(a Fenwick tree over access timestamps marking each line's latest
+reference); ``tests/obs/test_reuse_distance.py`` pins it against a
+brute-force oracle, including under Hypothesis-generated streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from .access import ACCESS_SCHEMA_VERSION, AccessEvent, AccessTrace, LEVELS
+from .metrics import percentile
+
+__all__ = [
+    "DEFAULT_ROW_BYTES",
+    "DEFAULT_ROW_STREAMS",
+    "DEFAULT_LINE_BYTES",
+    "REGION_CHANNEL_LEVEL",
+    "classify_accesses",
+    "run_length_stats",
+    "stack_distances",
+    "reuse_profile",
+    "spatial_utilization",
+    "taxonomy",
+    "analyze_trace",
+    "compare_reports",
+    "aggregate_reports",
+]
+
+DEFAULT_ROW_BYTES = 1024
+DEFAULT_ROW_STREAMS = 8
+DEFAULT_LINE_BYTES = 64
+
+#: Which service level carries each region's *traffic* stream.  ``None``
+#: means the region is an on-chip structure analyzed over all its events.
+REGION_CHANNEL_LEVEL: dict[str, str | None] = {
+    "adjacency": "offchip",
+    "on1-rank": "offchip",
+    "embedding": "offchip",
+    "ancestor-buffer": None,
+    "priority-cache": None,
+}
+
+_CLASSES = ("sequential", "strided", "random")
+
+
+def classify_accesses(
+    addresses: Sequence[int],
+    row_bytes: int = DEFAULT_ROW_BYTES,
+    streams: int = DEFAULT_ROW_STREAMS,
+) -> list[str]:
+    """Label each access ``sequential`` / ``strided`` / ``random``.
+
+    The open-row table holds the ``streams`` most recently used rows in
+    LRU order; an access to an open row or to the row directly after one
+    is sequential (row hit / next-row stream).  Among the remaining
+    accesses, a repeat of the stream's previous address delta is strided.
+    """
+    if row_bytes < 1 or streams < 1:
+        raise ValueError("row_bytes and streams must both be >= 1")
+    # dict preserves insertion order; re-inserting on hit keeps LRU order.
+    table: dict[int, None] = {}
+    labels: list[str] = []
+    prev_address: int | None = None
+    prev_delta: int | None = None
+    for address in addresses:
+        row = address // row_bytes
+        if row in table or (row - 1) in table:
+            labels.append("sequential")
+            table.pop(row, None)
+        else:
+            delta = None if prev_address is None else address - prev_address
+            if delta is not None and delta == prev_delta and delta != 0:
+                labels.append("strided")
+            else:
+                labels.append("random")
+        table[row] = None
+        if len(table) > streams:
+            del table[next(iter(table))]
+        if prev_address is not None:
+            prev_delta = address - prev_address
+        prev_address = address
+    return labels
+
+
+def run_length_stats(labels: Sequence[str]) -> dict[str, dict[str, float]]:
+    """Maximal same-class run lengths, summarized per class."""
+    runs: dict[str, list[int]] = {cls: [] for cls in _CLASSES}
+    current: str | None = None
+    length = 0
+    for label in labels:
+        if label == current:
+            length += 1
+        else:
+            if current is not None:
+                runs[current].append(length)
+            current = label
+            length = 1
+    if current is not None:
+        runs[current].append(length)
+    return {
+        cls: {
+            "count": float(len(lengths)),
+            "mean": sum(lengths) / len(lengths) if lengths else 0.0,
+            "max": float(max(lengths)) if lengths else 0.0,
+        }
+        for cls, lengths in runs.items()
+    }
+
+
+def taxonomy(
+    addresses: Sequence[int],
+    row_bytes: int = DEFAULT_ROW_BYTES,
+    streams: int = DEFAULT_ROW_STREAMS,
+) -> dict[str, object]:
+    """Class shares + run-length stats for one address stream."""
+    labels = classify_accesses(addresses, row_bytes, streams)
+    total = len(labels)
+    shares = {
+        cls: (labels.count(cls) / total if total else 0.0)
+        for cls in _CLASSES
+    }
+    return {**shares, "runs": run_length_stats(labels)}
+
+
+def stack_distances(lines: Sequence[int]) -> list[int | None]:
+    """Exact Mattson stack distance per access (``None`` = cold miss).
+
+    ``lines[i]`` is the cache line of access ``i``; the result's entry
+    ``i`` is the number of distinct *other* lines referenced since the
+    previous reference to ``lines[i]`` — the LRU stack depth the access
+    would hit at.  O(n log n) via a Fenwick tree over timestamps that
+    marks, for every line, only its most recent reference.
+    """
+    n = len(lines)
+    tree = [0] * (n + 1)
+
+    def add(index: int, delta: int) -> None:
+        index += 1
+        while index <= n:
+            tree[index] += delta
+            index += index & -index
+
+    def prefix(index: int) -> int:
+        # Sum of marks at timestamps 0..index (inclusive).
+        index += 1
+        total = 0
+        while index > 0:
+            total += tree[index]
+            index -= index & -index
+        return total
+
+    last: dict[int, int] = {}
+    out: list[int | None] = []
+    for now, line in enumerate(lines):
+        prev = last.get(line)
+        if prev is None:
+            out.append(None)
+        else:
+            # Marked timestamps strictly between prev and now are the
+            # latest references of the distinct lines seen in between.
+            out.append(prefix(now - 1) - prefix(prev))
+            add(prev, -1)
+        add(now, 1)
+        last[line] = now
+    return out
+
+
+def _reuse_bucket(distance: int) -> str:
+    """Log2 histogram bucket label ("0", "1", "2-3", "4-7", ...)."""
+    if distance <= 0:
+        return "0"
+    bits = distance.bit_length()
+    low = 1 << (bits - 1)
+    high = (1 << bits) - 1
+    return str(low) if low == high else f"{low}-{high}"
+
+
+def reuse_profile(
+    addresses: Sequence[int], line_bytes: int = DEFAULT_LINE_BYTES
+) -> dict[str, object]:
+    """Reuse-distance summary of one byte-address stream.
+
+    Distances are computed at ``line_bytes`` granularity; cold misses are
+    reported but excluded from the percentiles.  ``median``/``p90`` are
+    ``None`` for a stream with no re-references (rendered as ∞).
+    """
+    lines = [address // line_bytes for address in addresses]
+    distances = [d for d in stack_distances(lines) if d is not None]
+    histogram: dict[str, int] = {}
+    for distance in distances:
+        bucket = _reuse_bucket(distance)
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+    ordered = dict(
+        sorted(histogram.items(), key=lambda item: int(item[0].split("-")[0]))
+    )
+    return {
+        "cold": len(lines) - len(distances),
+        "refs": len(distances),
+        "median": percentile(distances, 50) if distances else None,
+        "p90": percentile(distances, 90) if distances else None,
+        "histogram": ordered,
+    }
+
+
+def spatial_utilization(
+    events: Iterable[AccessEvent], line_bytes: int = DEFAULT_LINE_BYTES
+) -> float:
+    """Fraction of fetched cache-line bytes the stream actually demanded.
+
+    Every line touched by any event is fetched whole; utilization is the
+    union of demanded bytes over ``lines × line_bytes``.  1.0 means the
+    stream consumes entire lines (dense/streaming); 8-byte pointer
+    chasing over 64-byte lines bottoms out at 0.125.
+    """
+    full: set[int] = set()
+    partial: dict[int, set[int]] = {}
+    for event in events:
+        start = event.address
+        end = start + max(1, event.size)
+        for line in range(start // line_bytes, (end - 1) // line_bytes + 1):
+            if line in full:
+                continue
+            line_start = line * line_bytes
+            lo = max(start, line_start) - line_start
+            hi = min(end, line_start + line_bytes) - line_start
+            if hi - lo >= line_bytes:
+                full.add(line)
+                partial.pop(line, None)
+                continue
+            touched = partial.setdefault(line, set())
+            touched.update(range(lo, hi))
+            if len(touched) >= line_bytes:
+                full.add(line)
+                del partial[line]
+    total = len(full) + len(partial)
+    if not total:
+        return 0.0
+    used = len(full) * line_bytes + sum(
+        len(touched) for touched in partial.values()
+    )
+    return used / (total * line_bytes)
+
+
+def analyze_trace(
+    trace: AccessTrace,
+    row_bytes: int = DEFAULT_ROW_BYTES,
+    streams: int = DEFAULT_ROW_STREAMS,
+    line_bytes: int = DEFAULT_LINE_BYTES,
+) -> dict[str, object]:
+    """Full per-region locality report of one trace (JSON-friendly)."""
+    regions: dict[str, object] = {}
+    for region in trace.regions():
+        all_events = trace.select(region=region)
+        channel_level = REGION_CHANNEL_LEVEL.get(region)
+        channel = (
+            [e for e in all_events if e.level == channel_level]
+            if channel_level is not None
+            else all_events
+        )
+        addresses = [event.address for event in channel]
+        levels = {
+            level: sum(1 for e in all_events if e.level == level)
+            for level in LEVELS
+        }
+        regions[region] = {
+            "events": len(all_events),
+            "levels": levels,
+            "traffic": {
+                "channel_level": channel_level or "all",
+                "requests": len(channel),
+                "bytes": sum(event.size for event in channel),
+                "reads": sum(1 for e in channel if e.rw == "r"),
+                "writes": sum(1 for e in channel if e.rw == "w"),
+                "taxonomy": taxonomy(addresses, row_bytes, streams),
+                "reuse": reuse_profile(addresses, line_bytes),
+                "spatial_utilization": spatial_utilization(
+                    channel, line_bytes
+                ),
+            },
+        }
+    return {
+        "schema_version": ACCESS_SCHEMA_VERSION,
+        "meta": dict(trace.meta),
+        "channel": {
+            "row_bytes": row_bytes,
+            "streams": streams,
+            "line_bytes": line_bytes,
+        },
+        "events": len(trace),
+        "regions": regions,
+    }
+
+
+def _region_row(payload: Mapping[str, object], region: str) -> dict[str, object]:
+    info = payload["regions"][region]  # type: ignore[index]
+    traffic = info["traffic"]
+    tax = traffic["taxonomy"]
+    reuse = traffic["reuse"]
+    return {
+        "requests": traffic["requests"],
+        "bytes": traffic["bytes"],
+        "sequential": tax["sequential"],
+        "strided": tax["strided"],
+        "random": tax["random"],
+        "median_reuse": reuse["median"],
+        "p90_reuse": reuse["p90"],
+        "cold": reuse["cold"],
+        "spatial_utilization": traffic["spatial_utilization"],
+    }
+
+
+def compare_reports(
+    label_a: str,
+    payload_a: Mapping[str, object],
+    label_b: str,
+    payload_b: Mapping[str, object],
+) -> dict[str, object]:
+    """Structured diff of two reports over their shared + disjoint regions."""
+    regions_a = set(payload_a["regions"])  # type: ignore[arg-type]
+    regions_b = set(payload_b["regions"])  # type: ignore[arg-type]
+    diff: dict[str, object] = {}
+    for region in [r for r in REGION_CHANNEL_LEVEL if r in regions_a | regions_b]:
+        row_a = _region_row(payload_a, region) if region in regions_a else None
+        row_b = _region_row(payload_b, region) if region in regions_b else None
+        entry: dict[str, object] = {"a": row_a, "b": row_b}
+        if row_a is not None and row_b is not None:
+            entry["delta"] = {
+                "sequential": row_b["sequential"] - row_a["sequential"],
+                "spatial_utilization": (
+                    row_b["spatial_utilization"] - row_a["spatial_utilization"]
+                ),
+                "median_reuse": (
+                    row_b["median_reuse"] - row_a["median_reuse"]
+                    if row_a["median_reuse"] is not None
+                    and row_b["median_reuse"] is not None
+                    else None
+                ),
+            }
+        diff[region] = entry
+    return {"a": label_a, "b": label_b, "regions": diff}
+
+
+def aggregate_reports(
+    items: Sequence[tuple[str, Mapping[str, object]]],
+) -> list[dict[str, object]]:
+    """Flatten ``(label, payload)`` pairs into per-region table rows."""
+    rows: list[dict[str, object]] = []
+    for label, payload in items:
+        for region in payload["regions"]:  # type: ignore[union-attr]
+            rows.append(
+                {"label": label, "region": region, **_region_row(payload, region)}
+            )
+    return rows

@@ -42,10 +42,23 @@ def _label_set(labels: Mapping[str, object]) -> LabelSet:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the Prometheus exposition format: ``\\``, ``"``, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _render_labels(labels: LabelSet) -> str:
     if not labels:
         return ""
-    return "{" + ",".join(f'{key}="{value}"' for key, value in labels) + "}"
+    return (
+        "{"
+        + ",".join(
+            f'{key}="{_escape_label_value(value)}"' for key, value in labels
+        )
+        + "}"
+    )
 
 
 def percentile(values: Sequence[float], q: float) -> float:

@@ -17,7 +17,13 @@ from typing import Mapping, Protocol, Sequence
 from .metrics import percentile
 from .timeline import TimelineWindow
 
-__all__ = ["render_profile"]
+__all__ = [
+    "render_profile",
+    "render_memprofile",
+    "render_memprofile_markdown",
+    "render_memprofile_compare",
+    "render_access_table_markdown",
+]
 
 _MAX_TIMELINE_ROWS = 24
 
@@ -228,3 +234,186 @@ def render_profile(
     if jobs:
         sections.append(_section("jobs (slowest first)", _jobs_section(jobs)))
     return "\n\n".join(sections)
+
+
+# -- memprofile (locality report) rendering ---------------------------------
+#
+# Consumes the JSON-friendly payloads produced by
+# ``repro.obs.locality_report.analyze_trace`` — plain mappings, so this
+# module stays a leaf and the same payloads round-trip through the
+# artifact cache and the ``--format json`` output unchanged.
+
+_MEMPROFILE_HEADERS = (
+    "region",
+    "requests",
+    "bytes",
+    "seq",
+    "strided",
+    "random",
+    "med reuse",
+    "p90 reuse",
+    "cold",
+    "line util",
+)
+
+
+def _fmt_share(value: object) -> str:
+    return f"{float(value) * 100:.1f}%"  # type: ignore[arg-type]
+
+
+def _fmt_reuse(value: object) -> str:
+    return "inf" if value is None else f"{float(value):.0f}"  # type: ignore[arg-type]
+
+
+def _memprofile_rows(payload: Mapping[str, object]) -> list[tuple[object, ...]]:
+    rows: list[tuple[object, ...]] = []
+    regions: Mapping[str, Mapping[str, object]] = payload["regions"]  # type: ignore[assignment]
+    for region, info in regions.items():
+        traffic: Mapping[str, object] = info["traffic"]  # type: ignore[assignment]
+        tax: Mapping[str, object] = traffic["taxonomy"]  # type: ignore[assignment]
+        reuse: Mapping[str, object] = traffic["reuse"]  # type: ignore[assignment]
+        rows.append(
+            (
+                region,
+                f"{traffic['requests']:,}",
+                f"{traffic['bytes']:,}",
+                _fmt_share(tax["sequential"]),
+                _fmt_share(tax["strided"]),
+                _fmt_share(tax["random"]),
+                _fmt_reuse(reuse["median"]),
+                _fmt_reuse(reuse["p90"]),
+                f"{reuse['cold']:,}",
+                f"{float(traffic['spatial_utilization']):.3f}",  # type: ignore[arg-type]
+            )
+        )
+    return rows
+
+
+def _memprofile_title(label: str, payload: Mapping[str, object]) -> str:
+    meta: Mapping[str, object] = payload.get("meta", {})  # type: ignore[assignment]
+    parts = [
+        str(meta[key]) for key in ("app", "graph", "scale") if key in meta
+    ]
+    suffix = f" ({', '.join(parts)})" if parts else ""
+    return f"{label}{suffix}"
+
+
+def render_memprofile(
+    reports: Mapping[str, Mapping[str, object]],
+) -> str:
+    """Text report: one traffic-taxonomy table per run/backend label."""
+    sections = []
+    for label, payload in reports.items():
+        channel: Mapping[str, object] = payload["channel"]  # type: ignore[assignment]
+        body = _table(_MEMPROFILE_HEADERS, _memprofile_rows(payload))
+        body += (
+            f"\nchannel: {channel['row_bytes']}B rows x "
+            f"{channel['streams']} streams, "
+            f"{channel['line_bytes']}B lines; "
+            f"{payload['events']:,} events"
+        )
+        sections.append(
+            _section(
+                f"memory access profile: {_memprofile_title(label, payload)}",
+                body,
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def render_memprofile_markdown(
+    reports: Mapping[str, Mapping[str, object]],
+) -> str:
+    """GitHub-flavoured markdown form of :func:`render_memprofile`."""
+    lines: list[str] = []
+    for label, payload in reports.items():
+        lines.append(f"## {_memprofile_title(label, payload)}")
+        lines.append("")
+        lines.append("| " + " | ".join(_MEMPROFILE_HEADERS) + " |")
+        lines.append("|" + "---|" * len(_MEMPROFILE_HEADERS))
+        for row in _memprofile_rows(payload):
+            lines.append("| " + " | ".join(str(c) for c in row) + " |")
+        channel: Mapping[str, object] = payload["channel"]  # type: ignore[assignment]
+        lines.append("")
+        lines.append(
+            f"_channel: {channel['row_bytes']} B rows × "
+            f"{channel['streams']} streams, {channel['line_bytes']} B "
+            f"lines; {payload['events']:,} events_"
+        )
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_memprofile_compare(diff: Mapping[str, object]) -> str:
+    """Text diff of two reports (``compare_reports`` output)."""
+    headers = (
+        "region",
+        f"seq {diff['a']}",
+        f"seq {diff['b']}",
+        "Δseq",
+        f"med {diff['a']}",
+        f"med {diff['b']}",
+        f"util {diff['a']}",
+        f"util {diff['b']}",
+    )
+    rows: list[tuple[object, ...]] = []
+    regions: Mapping[str, Mapping[str, object]] = diff["regions"]  # type: ignore[assignment]
+    for region, entry in regions.items():
+        row_a: Mapping[str, object] | None = entry.get("a")  # type: ignore[assignment]
+        row_b: Mapping[str, object] | None = entry.get("b")  # type: ignore[assignment]
+
+        def cell(row: Mapping[str, object] | None, key: str, fmt) -> str:
+            return "-" if row is None else fmt(row[key])
+
+        delta: Mapping[str, object] | None = entry.get("delta")  # type: ignore[assignment]
+        rows.append(
+            (
+                region,
+                cell(row_a, "sequential", _fmt_share),
+                cell(row_b, "sequential", _fmt_share),
+                _fmt_share(delta["sequential"]) if delta else "-",
+                cell(row_a, "median_reuse", _fmt_reuse),
+                cell(row_b, "median_reuse", _fmt_reuse),
+                cell(row_a, "spatial_utilization", lambda v: f"{float(v):.3f}"),
+                cell(row_b, "spatial_utilization", lambda v: f"{float(v):.3f}"),
+            )
+        )
+    return _section(
+        f"memory access compare: {diff['a']} vs {diff['b']}",
+        _table(headers, rows),
+    )
+
+
+def render_access_table_markdown(
+    rows: Sequence[Mapping[str, object]],
+) -> str:
+    """Markdown table over ``aggregate_reports`` rows (the sweep report)."""
+    headers = (
+        "cell",
+        "region",
+        "requests",
+        "seq",
+        "strided",
+        "random",
+        "med reuse",
+        "line util",
+    )
+    lines = ["| " + " | ".join(headers) + " |", "|" + "---|" * len(headers)]
+    for row in rows:
+        lines.append(
+            "| "
+            + " | ".join(
+                (
+                    str(row["label"]),
+                    str(row["region"]),
+                    f"{row['requests']:,}",
+                    _fmt_share(row["sequential"]),
+                    _fmt_share(row["strided"]),
+                    _fmt_share(row["random"]),
+                    _fmt_reuse(row["median_reuse"]),
+                    f"{float(row['spatial_utilization']):.3f}",  # type: ignore[arg-type]
+                )
+            )
+            + " |"
+        )
+    return "\n".join(lines) + "\n"

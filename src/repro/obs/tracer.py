@@ -48,10 +48,18 @@ __all__ = [
     "PID_EXECUTOR",
     "PID_TIMELINE",
     "SIM_PID_BASE",
+    "TRACE_SCHEMA_VERSION",
     "TraceEvent",
+    "TraceSchemaError",
     "Tracer",
+    "read_jsonl",
     "validate_event",
 ]
+
+#: Version stamped into the JSONL header line.  Bump when the per-event
+#: schema changes shape; :func:`read_jsonl` rejects newer versions and
+#: warns (best-effort parse) on older or headerless files.
+TRACE_SCHEMA_VERSION = 1
 
 CATEGORY_PU = "pu"
 CATEGORY_MEMORY = "memory"
@@ -235,15 +243,88 @@ class Tracer:
         return target
 
     def write_jsonl(self, path: str | Path) -> Path:
-        """Serialize one event per line, in emission order, to ``path``."""
+        """Serialize header + one event per line, in emission order.
+
+        The first line is a schema header
+        (``{"schema_version": N, "kind": "gramer-trace"}``) so readers
+        can detect version skew instead of misparsing events; every
+        following line is one Chrome-format event object.
+        """
         target = Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
-        lines = [
+        header = {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "kind": "gramer-trace",
+        }
+        lines = [json.dumps(header, separators=(",", ":"))]
+        lines.extend(
             json.dumps(event.as_chrome(), separators=(",", ":"))
             for event in self._events
-        ]
-        target.write_text("\n".join(lines) + ("\n" if lines else ""))
+        )
+        target.write_text("\n".join(lines) + "\n")
         return target
+
+
+class TraceSchemaError(ValueError):
+    """A serialized JSONL trace is unreadable by this code version."""
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, object]]:
+    """Load a JSONL trace's event records, enforcing the version contract.
+
+    A header written by a *newer* schema raises :class:`TraceSchemaError`
+    — misreading fields silently would corrupt any downstream analysis.
+    Older versions (or headerless pre-versioning files) log a warning and
+    parse best-effort; records failing :func:`validate_event` are dropped
+    with a logged count.
+    """
+    from .log import get_logger
+
+    log = get_logger("obs.tracer")
+    source = Path(path)
+    lines = [line for line in source.read_text().splitlines() if line.strip()]
+    if not lines:
+        return []
+    first = json.loads(lines[0])
+    body = lines
+    if isinstance(first, dict) and "schema_version" in first:
+        version = first["schema_version"]
+        if not isinstance(version, int) or isinstance(version, bool):
+            raise TraceSchemaError(
+                f"{source}: non-integer schema_version {version!r}"
+            )
+        if version > TRACE_SCHEMA_VERSION:
+            raise TraceSchemaError(
+                f"{source}: schema_version {version} is newer than "
+                f"supported version {TRACE_SCHEMA_VERSION}; upgrade the "
+                "reader"
+            )
+        if version < TRACE_SCHEMA_VERSION:
+            log.warning(
+                "%s: old trace schema_version %d (current %d); parsing "
+                "best-effort",
+                source,
+                version,
+                TRACE_SCHEMA_VERSION,
+            )
+        body = lines[1:]
+    else:
+        log.warning(
+            "%s: no schema header (pre-versioning trace); parsing "
+            "best-effort",
+            source,
+        )
+    records: list[dict[str, object]] = []
+    dropped = 0
+    for line in body:
+        record = json.loads(line)
+        if not isinstance(record, dict) or validate_event(record):
+            dropped += 1
+            continue
+        records.append(record)
+    if dropped:
+        log.warning("%s: dropped %d invalid event line(s)", source, dropped)
+    return records
 
 
 class NullTracer(Tracer):

@@ -55,6 +55,7 @@ from .cache import default_cache
 from .spec import JobResult, JobSpec
 
 if TYPE_CHECKING:
+    from repro.obs.access import AccessTrace
     from repro.obs.hooks import SimInstrument
 
 _log = get_logger("runtime.backends")
@@ -244,8 +245,22 @@ class GramerBackend:
         """
         return self._execute(spec, instrument)
 
+    def run_traced(
+        self, spec: JobSpec, access_trace: "AccessTrace"
+    ) -> JobResult:
+        """Run with the memory-access event channel attached.
+
+        Same zero-perturbation contract as ``run_instrumented``: the
+        trace only accumulates events, so the ``JobResult`` is identical
+        (bar wall time) to an untraced run.
+        """
+        return self._execute(spec, None, access_trace)
+
     def _execute(
-        self, spec: JobSpec, instrument: "SimInstrument | None"
+        self,
+        spec: JobSpec,
+        instrument: "SimInstrument | None",
+        access_trace: "AccessTrace | None" = None,
     ) -> JobResult:
         params = spec.params_dict()
         app = _make_app_for(spec)
@@ -265,10 +280,10 @@ class GramerBackend:
         engine = str(params.get("engine", DEFAULT_ENGINE))
 
         def simulate(selected_engine: str) -> SimResult:
-            # Engine selection rides in params; instrumented runs are
-            # forced to the reference engine by the factory (obs hooks
-            # observe per-event state the fast engine does not
-            # materialise).
+            # Engine selection rides in params; instrumented and
+            # access-traced runs are forced to the reference engine by
+            # the factory (obs hooks observe per-event state the fast
+            # engine does not materialise).
             return make_simulator(
                 graph,
                 cfg,
@@ -276,6 +291,7 @@ class GramerBackend:
                 vertex_rank=vertex_rank,
                 use_on1_ranks=params.get("use_on1_ranks", True),
                 instrument=instrument,
+                access_trace=access_trace,
             ).run(app)
 
         start = time.perf_counter()
@@ -286,7 +302,7 @@ class GramerBackend:
             # the cell's deterministic result, never an engine defect.
             raise
         except Exception as exc:
-            if engine != "fast" or instrument is not None:
+            if engine != "fast" or instrument is not None or access_trace is not None:
                 raise
             # Graceful degradation (docs/resilience.md): a fast-engine
             # internal error gets one logged shot on the reference engine
@@ -342,12 +358,15 @@ def _scaled_cpu_config(spec: JobSpec) -> CPUConfig:
 
 
 def _baseline_result(
-    spec: JobSpec, system: str, model: FractalModel | RStreamModel
+    spec: JobSpec,
+    system: str,
+    model: FractalModel | RStreamModel,
+    access_trace: "AccessTrace | None" = None,
 ) -> JobResult:
     app = _make_app_for(spec)
     graph = resolve_graph(spec, app.needs_labels)
     start = time.perf_counter()
-    result: BaselineResult = model.run(graph, app)
+    result: BaselineResult = model.run(graph, app, access_trace=access_trace)
     wall = time.perf_counter() - start
     seconds = result.seconds if result.available else None
     return JobResult(
@@ -372,15 +391,25 @@ class FractalBackend:
     name = "fractal"
     system = "Fractal"
 
-    def run(self, spec: JobSpec) -> JobResult:
+    def _model(self, spec: JobSpec) -> FractalModel:
         params = spec.params_dict()
-        model = FractalModel(
+        return FractalModel(
             _scaled_cpu_config(spec),
             task_overhead_s=params.get(
                 "task_overhead_s", _overheads(spec.scale).fractal_task_s
             ),
         )
-        return _baseline_result(spec, self.system, model)
+
+    def run(self, spec: JobSpec) -> JobResult:
+        return _baseline_result(spec, self.system, self._model(spec))
+
+    def run_traced(
+        self, spec: JobSpec, access_trace: "AccessTrace"
+    ) -> JobResult:
+        """Run with the post-L2 miss stream routed into ``access_trace``."""
+        return _baseline_result(
+            spec, self.system, self._model(spec), access_trace=access_trace
+        )
 
 
 class RStreamBackend:
@@ -389,16 +418,26 @@ class RStreamBackend:
     name = "rstream"
     system = "RStream"
 
-    def run(self, spec: JobSpec) -> JobResult:
+    def _model(self, spec: JobSpec) -> RStreamModel:
         params = spec.params_dict()
-        model = RStreamModel(
+        return RStreamModel(
             _scaled_cpu_config(spec),
             startup_overhead_s=params.get(
                 "startup_overhead_s", _overheads(spec.scale).rstream_startup_s
             ),
             max_frontier=int(params.get("max_frontier", 2_000_000)),
         )
-        return _baseline_result(spec, self.system, model)
+
+    def run(self, spec: JobSpec) -> JobResult:
+        return _baseline_result(spec, self.system, self._model(spec))
+
+    def run_traced(
+        self, spec: JobSpec, access_trace: "AccessTrace"
+    ) -> JobResult:
+        """Run with miss + embedding-spill streams routed into the trace."""
+        return _baseline_result(
+            spec, self.system, self._model(spec), access_trace=access_trace
+        )
 
 
 class SoftwareBackend:

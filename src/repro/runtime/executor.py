@@ -45,9 +45,10 @@ from concurrent import futures as _futures
 from pathlib import Path
 from typing import Callable, Sequence
 
-from repro.obs.hooks import SimInstrument
+from repro.obs.access import AccessTrace, AccessTraceSet
+from repro.obs.hooks import SimInstrument, emit_job_event, emit_job_retry
 from repro.obs.log import get_logger
-from repro.obs.tracer import CATEGORY_EXECUTOR, PID_EXECUTOR, Tracer
+from repro.obs.tracer import Tracer
 
 from .backends import get_backend, graph_digest_for, prime_graph_digest
 from .cache import ArtifactCache, default_cache
@@ -98,6 +99,7 @@ def run_spec(
     retry: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
     first_attempt: int = 1,
+    access_trace: AccessTrace | None = None,
 ) -> JobResult:
     """Execute one spec: cache lookup → backend run (with retry) → store.
 
@@ -112,13 +114,20 @@ def run_spec(
     With ``instrument`` the cache is bypassed entirely — a trace only
     exists if the simulator actually runs — and backends exposing
     ``run_instrumented`` receive the hooks (others run normally).
+    ``access_trace`` follows the same contract through backends'
+    ``run_traced``; a backend without one runs normally and the trace
+    stays empty.  The two channels buffer different event shapes and
+    cannot be combined in one run.
     """
+    if instrument is not None and access_trace is not None:
+        raise ValueError("instrument and access_trace cannot be combined")
     cache = cache if cache is not None else default_cache()
     policy = retry if retry is not None else DEFAULT_RETRY
     plan = faults if faults is not None else active_fault_plan()
     key = spec.cache_key()
     label = spec.label()
-    if use_cache and instrument is None:
+    observed = instrument is not None or access_trace is not None
+    if use_cache and not observed:
         hit, value = cache.lookup(_JOB_KIND, key)
         if hit and isinstance(value, JobResult):
             _log.debug("cache hit %s", label)
@@ -136,8 +145,15 @@ def run_spec(
                 if instrument is not None
                 else None
             )
+            traced_run = (
+                getattr(backend, "run_traced", None)
+                if access_trace is not None
+                else None
+            )
             if instrumented_run is not None:
                 result = instrumented_run(spec, instrument)
+            elif traced_run is not None:
+                result = traced_run(spec, access_trace)
             else:
                 result = backend.run(spec)
         except Exception as exc:  # noqa: BLE001 - failure isolation by design
@@ -175,7 +191,7 @@ def run_spec(
     result = replace(
         result, cache_key=cache.digest(key), retries=attempt - 1
     )
-    if use_cache and instrument is None and result.ok:
+    if use_cache and not observed and result.ok:
         cache.store(_JOB_KIND, key, result)
         apply_cache_corruption(plan, cache, _JOB_KIND, key, label, attempt)
     _log.debug("finish %s in %.3fs", label, result.wall_seconds)
@@ -255,44 +271,29 @@ class Executor:
             "app": result.spec.app,
             "graph": result.spec.graph_name,
             "ok": result.ok,
-            "cached": result.cached,
             "retries": result.retries,
         }
         if result.error is not None:
             args["error"] = result.error
-        if result.cached:
-            tracer.instant(
-                f"job {result.spec.label()}",
-                CATEGORY_EXECUTOR,
-                now_us,
-                PID_EXECUTOR,
-                0,
-                **args,
-            )
-        else:
-            dur_us = result.wall_seconds * 1e6
-            tracer.complete(
-                f"job {result.spec.label()}",
-                CATEGORY_EXECUTOR,
-                max(now_us - dur_us, 0.0),
-                dur_us,
-                PID_EXECUTOR,
-                0,
-                **args,
-            )
+        emit_job_event(
+            tracer,
+            result.spec.label(),
+            now_us,
+            result.wall_seconds,
+            result.cached,
+            **args,
+        )
 
     def _trace_retry(self, spec: JobSpec, attempt: int, error: str) -> None:
         tracer = self.tracer
         if tracer is None or not tracer.enabled:
             return
-        tracer.instant(
-            f"retry {spec.label()}",
-            CATEGORY_EXECUTOR,
+        emit_job_retry(
+            tracer,
+            spec.label(),
             time.perf_counter() * 1e6,
-            PID_EXECUTOR,
-            0,
-            attempt=attempt,
-            error=error,
+            attempt,
+            error,
         )
 
     def run(
@@ -300,13 +301,21 @@ class Executor:
         specs: Sequence[JobSpec],
         progress: ProgressFn | None = None,
         instrument: SimInstrument | None = None,
+        access_traces: AccessTraceSet | None = None,
     ) -> list[JobResult]:
         """Execute every spec; result ``i`` always corresponds to spec ``i``.
 
         With ``instrument``, every spec runs inline (hooks hold live
         object references and cannot cross process boundaries) and the
         cache is bypassed so each job actually simulates.
+        ``access_traces`` works the same way: each spec runs inline with
+        its own :class:`~repro.obs.access.AccessTrace` opened under the
+        spec's label, cache bypassed in both directions.
         """
+        if instrument is not None and access_traces is not None:
+            raise ValueError(
+                "instrument and access_traces cannot be combined"
+            )
         total = len(specs)
         results: list[JobResult | None] = [None] * total
 
@@ -337,6 +346,29 @@ class Executor:
                             instrument=instrument,
                             retry=self.retry,
                             faults=self.faults,
+                        ),
+                        index,
+                    )
+                return [r for r in results if r is not None]
+
+            if access_traces is not None:
+                for index, spec in enumerate(specs):
+                    ledger_start(index, 1)
+                    trace = access_traces.open(
+                        spec.label(),
+                        backend=spec.backend,
+                        app=spec.app,
+                        graph=spec.graph_name,
+                        scale=spec.scale,
+                    )
+                    note(
+                        run_spec(
+                            spec,
+                            False,
+                            self.cache,
+                            retry=self.retry,
+                            faults=self.faults,
+                            access_trace=trace,
                         ),
                         index,
                     )

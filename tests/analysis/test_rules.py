@@ -16,7 +16,7 @@ CORPUS = {
     "bad_immutability.py": {"GRM301", "GRM302"},
     "bad_units.py": {"GRM401", "GRM402"},
     "bad_crossproc.py": {"GRM501"},
-    "bad_observability.py": {"GRM601"},
+    "bad_observability.py": {"GRM601", "GRM602"},
     "bad_engine_selection.py": {"GRM701"},
     "bad_resilience.py": {"GRM801"},
     "bad_graph_store.py": {"GRM901"},
@@ -80,6 +80,15 @@ class TestAllowedIdioms:
             if "print(main())" in line
         )
         assert lineno not in self._lines("bad_observability.py", "GRM601")
+
+    def test_registry_counter_not_a_tracer_emit(self):
+        source = (FIXTURES / "bad_observability.py").read_text()
+        lineno = next(
+            i
+            for i, line in enumerate(source.splitlines(), start=1)
+            if "registry.counter" in line
+        )
+        assert lineno not in self._lines("bad_observability.py", "GRM602")
 
     def test_factory_construction_allowed(self):
         flagged = check_paths([FIXTURES / "bad_engine_selection.py"])

@@ -1,0 +1,183 @@
+"""The access-event channel: schema, serialization, zero perturbation."""
+
+import json
+
+import pytest
+
+from repro.obs.access import (
+    ACCESS_SCHEMA_VERSION,
+    AccessSchemaError,
+    AccessTrace,
+    AccessTraceSet,
+    validate_access_event,
+)
+from repro.obs.tracer import Tracer, TraceSchemaError, read_jsonl
+
+
+def _populated_trace() -> AccessTrace:
+    trace = AccessTrace(meta={"backend": "gramer", "app": "3-CF"})
+    trace.record("lamh.edge", "adjacency", 0, 8, "r", "offchip", cycle=10)
+    trace.cycle = 20
+    trace.record("lamh.vertex", "on1-rank", 64, 8, "r", "low")
+    trace.record("pu.scheduler", "ancestor-buffer", 128, 8, "w", "high")
+    return trace
+
+
+class TestAccessEventSchema:
+    def test_recorded_events_validate(self):
+        for event in _populated_trace().events:
+            assert validate_access_event(event.as_record()) == []
+
+    def test_missing_key_and_bad_enums_reported(self):
+        record = _populated_trace().events[0].as_record()
+        del record["component"]
+        record["region"] = "heap"
+        record["rw"] = "x"
+        record["level"] = "l4"
+        problems = " ".join(validate_access_event(record))
+        assert "component" in problems
+        assert "heap" in problems
+        assert "rw" in problems
+        assert "l4" in problems
+
+    def test_negative_address_rejected(self):
+        record = _populated_trace().events[0].as_record()
+        record["address"] = -1
+        assert any(
+            "negative" in p for p in validate_access_event(record)
+        )
+
+    def test_bool_is_not_an_int(self):
+        record = _populated_trace().events[0].as_record()
+        record["cycle"] = True
+        assert validate_access_event(record)
+
+
+class TestSelectors:
+    def test_regions_in_canonical_order(self):
+        assert _populated_trace().regions() == [
+            "adjacency",
+            "on1-rank",
+            "ancestor-buffer",
+        ]
+
+    def test_select_by_region_and_level(self):
+        trace = _populated_trace()
+        assert len(trace.select(region="adjacency")) == 1
+        assert len(trace.select(level="offchip")) == 1
+        assert trace.select(region="adjacency", level="high") == []
+
+    def test_record_stamps_trace_clock(self):
+        trace = _populated_trace()
+        assert [e.cycle for e in trace.events] == [10, 20, 20]
+
+
+class TestAccessJsonlRoundtrip:
+    def test_header_then_events(self, tmp_path):
+        path = _populated_trace().write_jsonl(tmp_path / "a.jsonl")
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["schema_version"] == ACCESS_SCHEMA_VERSION
+        assert header["kind"] == "gramer-access-trace"
+        assert header["meta"]["backend"] == "gramer"
+        assert len(lines) == 4
+
+    def test_roundtrip_preserves_events_and_meta(self, tmp_path):
+        original = _populated_trace()
+        loaded = AccessTrace.read_jsonl(
+            original.write_jsonl(tmp_path / "a.jsonl")
+        )
+        assert loaded.meta == original.meta
+        assert loaded.events == original.events
+
+    def test_newer_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        header = {
+            "schema_version": ACCESS_SCHEMA_VERSION + 1,
+            "kind": "gramer-access-trace",
+        }
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(AccessSchemaError, match="newer"):
+            AccessTrace.read_jsonl(path)
+
+    def test_older_schema_parses_best_effort(self, tmp_path):
+        original = _populated_trace()
+        path = original.write_jsonl(tmp_path / "old.jsonl")
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["schema_version"] = 0
+        path.write_text("\n".join([json.dumps(header), *lines[1:]]) + "\n")
+        assert AccessTrace.read_jsonl(path).events == original.events
+
+    def test_headerless_pre_versioning_file_parses(self, tmp_path):
+        original = _populated_trace()
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(
+            "\n".join(
+                json.dumps(e.as_record()) for e in original.events
+            )
+            + "\n"
+        )
+        assert AccessTrace.read_jsonl(path).events == original.events
+
+    def test_invalid_event_lines_dropped(self, tmp_path):
+        path = _populated_trace().write_jsonl(tmp_path / "a.jsonl")
+        with path.open("a") as handle:
+            handle.write('{"region": "heap"}\n')
+        assert len(AccessTrace.read_jsonl(path).events) == 3
+
+    def test_empty_file_is_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert len(AccessTrace.read_jsonl(path)) == 0
+
+
+class TestTracerJsonlVersioning:
+    """Regression: the tracer channel enforces the same version contract."""
+
+    def _tracer(self) -> Tracer:
+        tracer = Tracer()
+        tracer.instant("job a", "executor", 1.0, 1, 0)
+        return tracer
+
+    def test_roundtrip(self, tmp_path):
+        path = self._tracer().write_jsonl(tmp_path / "t.jsonl")
+        records = read_jsonl(path)
+        assert len(records) == 1
+        assert records[0]["name"] == "job a"
+
+    def test_newer_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"schema_version": 99, "kind": "gramer-trace"})
+            + "\n"
+        )
+        with pytest.raises(TraceSchemaError, match="newer"):
+            read_jsonl(path)
+
+    def test_pre_versioning_trace_still_readable(self, tmp_path):
+        # Traces written before the header existed: bare event lines.
+        path = tmp_path / "legacy.jsonl"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "job a",
+                    "cat": "executor",
+                    "ph": "i",
+                    "ts": 1.0,
+                    "pid": 1,
+                    "tid": 0,
+                }
+            )
+            + "\n"
+        )
+        assert len(read_jsonl(path)) == 1
+
+
+class TestAccessTraceSet:
+    def test_open_get_iterate(self):
+        traces = AccessTraceSet()
+        trace = traces.open("gramer:3-CF@p2p/tiny", backend="gramer")
+        assert traces.get("gramer:3-CF@p2p/tiny") is trace
+        assert trace.meta["label"] == "gramer:3-CF@p2p/tiny"
+        assert dict(traces) == {"gramer:3-CF@p2p/tiny": trace}

@@ -100,8 +100,13 @@ class TestTraceContent:
         tracer, _, _ = traced
         path = tracer.write_jsonl(tmp_path / "trace.jsonl")
         lines = path.read_text().splitlines()
-        assert lines
-        for line in lines:
+        # Line 0 is the schema header (docs/observability.md); every
+        # following line is an event record.
+        assert len(lines) > 1
+        header = json.loads(lines[0])
+        assert header["schema_version"] == 1
+        assert header["kind"] == "gramer-trace"
+        for line in lines[1:]:
             assert validate_event(json.loads(line)) == []
 
     def test_timeline_windows_partition_the_run(self, traced):

@@ -1,0 +1,209 @@
+"""The memprofile analyzer: classifier, reuse, utilization, reports."""
+
+from repro.obs.access import AccessTrace
+from repro.obs.locality_report import (
+    aggregate_reports,
+    analyze_trace,
+    classify_accesses,
+    compare_reports,
+    reuse_profile,
+    run_length_stats,
+    spatial_utilization,
+    taxonomy,
+)
+from repro.obs.report import (
+    render_access_table_markdown,
+    render_memprofile,
+    render_memprofile_compare,
+    render_memprofile_markdown,
+)
+
+
+class TestClassifier:
+    def test_dense_ramp_is_sequential_after_warmup(self):
+        labels = classify_accesses(
+            list(range(0, 8192, 8)), row_bytes=1024, streams=8
+        )
+        assert labels[0] == "random"  # no row open yet
+        assert all(label == "sequential" for label in labels[1:])
+
+    def test_next_row_counts_as_sequential(self):
+        # One access per 1 KiB row: each lands directly after the open row.
+        labels = classify_accesses(
+            [0, 1024, 2048, 3072], row_bytes=1024, streams=8
+        )
+        assert labels == ["random", "sequential", "sequential", "sequential"]
+
+    def test_constant_large_stride_detected(self):
+        labels = classify_accesses(
+            [0, 5000, 10000, 15000, 20000], row_bytes=1024, streams=8
+        )
+        assert labels[:2] == ["random", "random"]  # no delta history yet
+        assert all(label == "strided" for label in labels[2:])
+
+    def test_scattered_stream_is_random(self):
+        addresses = [0, 70000, 9000, 250000, 31000, 500000]
+        labels = classify_accesses(addresses, row_bytes=1024, streams=8)
+        assert all(label == "random" for label in labels)
+
+    def test_lru_eviction_bounds_open_rows(self):
+        # 9 distinct rows visit once, then the first row returns: with
+        # only 8 tracked streams it has been evicted -> not sequential.
+        addresses = [row * 4096 for row in range(9)] + [0]
+        labels = classify_accesses(addresses, row_bytes=1024, streams=8)
+        assert labels[-1] == "random"
+        # With 9 streams the returning access is a row hit.
+        labels = classify_accesses(addresses, row_bytes=1024, streams=9)
+        assert labels[-1] == "sequential"
+
+    def test_interleaved_streams_stay_sequential(self):
+        # Two interleaved dense streams far apart: both rows stay open.
+        a = list(range(0, 512, 8))
+        b = list(range(1 << 20, (1 << 20) + 512, 8))
+        interleaved = [x for pair in zip(a, b) for x in pair]
+        labels = classify_accesses(interleaved, row_bytes=1024, streams=8)
+        assert labels.count("sequential") == len(labels) - 2
+
+    def test_run_length_stats(self):
+        stats = run_length_stats(
+            ["sequential"] * 3 + ["random"] + ["sequential"] * 2
+        )
+        assert stats["sequential"] == {"count": 2.0, "mean": 2.5, "max": 3.0}
+        assert stats["random"]["count"] == 1.0
+        assert stats["strided"] == {"count": 0.0, "mean": 0.0, "max": 0.0}
+
+    def test_taxonomy_shares_sum_to_one(self):
+        tax = taxonomy([0, 8, 16, 5000, 123456], row_bytes=1024, streams=8)
+        assert abs(
+            tax["sequential"] + tax["strided"] + tax["random"] - 1.0
+        ) < 1e-12
+
+    def test_empty_stream(self):
+        tax = taxonomy([], row_bytes=1024, streams=8)
+        assert tax["sequential"] == 0.0 and tax["random"] == 0.0
+
+
+class TestReuseProfile:
+    def test_all_unique_is_all_cold(self):
+        profile = reuse_profile([i * 64 for i in range(10)], line_bytes=64)
+        assert profile["cold"] == 10
+        assert profile["refs"] == 0
+        assert profile["median"] is None and profile["p90"] is None
+
+    def test_immediate_rereference_distance_zero(self):
+        profile = reuse_profile([0, 0, 0], line_bytes=64)
+        assert profile["cold"] == 1
+        assert profile["median"] == 0
+        assert profile["histogram"] == {"0": 2}
+
+    def test_line_granularity(self):
+        # 0 and 63 share a 64-byte line; 64 does not.
+        profile = reuse_profile([0, 64, 63], line_bytes=64)
+        assert profile["cold"] == 2
+        assert profile["median"] == 1  # one distinct other line between
+
+    def test_histogram_buckets_are_log2(self):
+        addresses = []
+        for k in range(6):  # touch 5 lines, re-touch the first
+            addresses.append(k % 6 * 64)
+        profile = reuse_profile(addresses + [0], line_bytes=64)
+        assert "4-7" in profile["histogram"]
+
+
+class TestSpatialUtilization:
+    @staticmethod
+    def _make(address, size):
+        trace = AccessTrace()
+        trace.record("c", "adjacency", address, size, "r", "offchip")
+        return trace.events[0]
+
+    def test_pointer_chase_floor(self):
+        events = [self._make(line * 64, 8) for line in range(4)]
+        assert spatial_utilization(events, line_bytes=64) == 8 / 64
+
+    def test_dense_stream_is_full(self):
+        events = [self._make(offset, 8) for offset in range(0, 128, 8)]
+        assert spatial_utilization(events, line_bytes=64) == 1.0
+
+    def test_straddling_event_touches_both_lines(self):
+        util = spatial_utilization([self._make(60, 8)], line_bytes=64)
+        assert util == 8 / 128
+
+    def test_empty_stream_is_zero(self):
+        assert spatial_utilization([], line_bytes=64) == 0.0
+
+
+def _toy_trace() -> AccessTrace:
+    trace = AccessTrace(meta={"backend": "toy", "app": "3-CF"})
+    for i in range(16):
+        trace.record("lamh.edge", "adjacency", i * 8, 8, "r", "offchip")
+        trace.record("lamh.edge", "adjacency", i * 8, 8, "r", "high")
+    for i in range(4):
+        trace.record("pu.scheduler", "ancestor-buffer", i * 8, 8, "w", "high")
+    return trace
+
+
+class TestAnalyzeTrace:
+    def test_offchip_channel_selected_for_data_regions(self):
+        payload = analyze_trace(_toy_trace())
+        adjacency = payload["regions"]["adjacency"]
+        assert adjacency["events"] == 32
+        assert adjacency["levels"]["offchip"] == 16
+        assert adjacency["traffic"]["requests"] == 16  # offchip only
+        assert adjacency["traffic"]["channel_level"] == "offchip"
+
+    def test_onchip_regions_analyzed_over_all_events(self):
+        payload = analyze_trace(_toy_trace())
+        ancestors = payload["regions"]["ancestor-buffer"]
+        assert ancestors["traffic"]["requests"] == 4
+        assert ancestors["traffic"]["channel_level"] == "all"
+
+    def test_payload_carries_meta_and_channel_config(self):
+        payload = analyze_trace(_toy_trace(), row_bytes=512, streams=4)
+        assert payload["meta"]["backend"] == "toy"
+        assert payload["channel"]["row_bytes"] == 512
+        assert payload["channel"]["streams"] == 4
+
+    def test_compare_and_aggregate_shapes(self):
+        a = analyze_trace(_toy_trace())
+        b = analyze_trace(_toy_trace())
+        diff = compare_reports("a", a, "b", b)
+        assert diff["regions"]["adjacency"]["delta"]["sequential"] == 0.0
+        rows = aggregate_reports([("a", a), ("b", b)])
+        assert {row["label"] for row in rows} == {"a", "b"}
+        assert any(row["region"] == "adjacency" for row in rows)
+
+
+class TestRenderers:
+    def test_text_report_lists_regions_and_channel(self):
+        text = render_memprofile({"toy": analyze_trace(_toy_trace())})
+        assert "adjacency" in text
+        assert "1024B rows x 8 streams" in text
+        assert "toy (3-CF)" in text
+
+    def test_markdown_report_is_a_table(self):
+        text = render_memprofile_markdown(
+            {"toy": analyze_trace(_toy_trace())}
+        )
+        assert text.startswith("## ")
+        assert "| adjacency |" in text
+
+    def test_compare_renderer(self):
+        payload = analyze_trace(_toy_trace())
+        text = render_memprofile_compare(
+            compare_reports("x", payload, "y", payload)
+        )
+        assert "seq x" in text and "seq y" in text
+
+    def test_infinite_median_renders_as_inf(self):
+        trace = AccessTrace()
+        for line in range(4):  # all-unique lines: no re-references
+            trace.record("c", "adjacency", line * 64, 8, "r", "offchip")
+        text = render_memprofile({"cold": analyze_trace(trace)})
+        assert "inf" in text
+
+    def test_sweep_table_renderer(self):
+        rows = aggregate_reports([("cell", analyze_trace(_toy_trace()))])
+        text = render_access_table_markdown(rows)
+        assert text.splitlines()[0].startswith("| cell |")
+        assert "| adjacency |" in text

@@ -2,7 +2,41 @@
 
 import pytest
 
-from repro.obs.metrics import MetricsRegistry, percentile
+from repro.obs.metrics import (
+    MetricsRegistry,
+    _escape_label_value,
+    percentile,
+)
+
+
+class TestLabelEscaping:
+    """Prometheus exposition format: ``\\``, ``"`` and newline escape."""
+
+    def test_backslash_first_then_quote_and_newline(self):
+        assert _escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_plain_values_untouched(self):
+        assert _escape_label_value("gramer:3-CF@p2p/tiny") == (
+            "gramer:3-CF@p2p/tiny"
+        )
+
+    def test_escaped_sequence_does_not_double_escape_its_own_output(self):
+        # \n -> \\n -> \\\\n: escaping is deterministic, not idempotent,
+        # but a single pass never produces an unescaped quote.
+        once = _escape_label_value('"\n')
+        assert '"' not in once.replace('\\"', "")
+
+    def test_render_text_emits_escaped_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(1, path='a"b\\c\nd')
+        text = registry.render_text()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+        assert "\n".join(text.splitlines()) == text  # no stray newlines
+
+    def test_render_text_with_clean_labels_unchanged(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(2, side="vertex")
+        assert 'side="vertex"' in registry.render_text()
 
 
 class TestCounter:

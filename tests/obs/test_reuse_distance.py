@@ -1,0 +1,80 @@
+"""The Fenwick-tree stack-distance engine vs a brute-force oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.locality_report import stack_distances
+
+
+def oracle(lines):
+    """Textbook Mattson: distinct other lines since the last reference."""
+    out = []
+    last = {}
+    for i, line in enumerate(lines):
+        prev = last.get(line)
+        if prev is None:
+            out.append(None)
+        else:
+            out.append(len(set(lines[prev + 1 : i])))
+        last[line] = i
+    return out
+
+
+streams = st.lists(st.integers(min_value=0, max_value=12), max_size=200)
+
+
+class TestAgainstOracle:
+    @given(streams)
+    @settings(max_examples=300, deadline=None)
+    def test_matches_brute_force(self, lines):
+        assert stack_distances(lines) == oracle(lines)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2), max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_tiny_alphabet_distances_bounded(self, lines):
+        # With k distinct lines a warm distance can never reach k.
+        k = len(set(lines))
+        for distance in stack_distances(lines):
+            assert distance is None or 0 <= distance < max(k, 1)
+
+    @given(streams)
+    @settings(max_examples=100, deadline=None)
+    def test_cold_misses_are_exactly_first_references(self, lines):
+        distances = stack_distances(lines)
+        seen = set()
+        for line, distance in zip(lines, distances):
+            assert (distance is None) == (line not in seen)
+            seen.add(line)
+
+
+class TestAdversarialStreams:
+    def test_all_unique_is_all_cold(self):
+        lines = list(range(1000))
+        assert stack_distances(lines) == [None] * 1000
+
+    def test_all_repeat_is_distance_zero(self):
+        lines = [7] * 1000
+        assert stack_distances(lines) == [None] + [0] * 999
+
+    def test_two_way_interleave_is_distance_one(self):
+        lines = [0, 1] * 500
+        distances = stack_distances(lines)
+        assert distances[:2] == [None, None]
+        assert distances[2:] == [1] * 998
+
+    def test_cyclic_scan_distance_is_working_set_size(self):
+        # A cyclic scan over k lines re-hits each at distance k-1 — the
+        # classic LRU-worst-case pattern.
+        k = 32
+        lines = list(range(k)) * 4
+        distances = stack_distances(lines)
+        assert distances[:k] == [None] * k
+        assert distances[k:] == [k - 1] * (3 * k)
+
+    def test_nested_stack_pattern(self):
+        # A B C B A: inner re-reference at 1, outer at 2 (B and C seen).
+        assert stack_distances([0, 1, 2, 1, 0]) == [None, None, None, 1, 2]
+
+    def test_matches_oracle_on_descending_triangle(self):
+        lines = [i for width in range(20, 0, -1) for i in range(width)]
+        assert stack_distances(lines) == oracle(lines)

@@ -64,16 +64,22 @@ class TestTracer:
         assert len(payload["traceEvents"]) == 5
         assert payload["displayTimeUnit"] == "ms"
 
-    def test_write_jsonl_one_valid_record_per_line(self, tmp_path):
+    def test_write_jsonl_header_then_one_valid_record_per_line(
+        self, tmp_path
+    ):
         path = _populated_tracer().write_jsonl(tmp_path / "t.jsonl")
         lines = path.read_text().splitlines()
-        assert len(lines) == 5
-        for line in lines:
+        assert len(lines) == 6
+        header = json.loads(lines[0])
+        assert header == {"schema_version": 1, "kind": "gramer-trace"}
+        for line in lines[1:]:
             assert validate_event(json.loads(line)) == []
 
-    def test_empty_jsonl_is_empty_file(self, tmp_path):
+    def test_empty_jsonl_is_header_only(self, tmp_path):
         path = Tracer().write_jsonl(tmp_path / "empty.jsonl")
-        assert path.read_text() == ""
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["kind"] == "gramer-trace"
 
 
 class TestValidateEvent:

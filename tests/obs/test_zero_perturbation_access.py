@@ -1,0 +1,83 @@
+"""An ``access_trace=`` run must be bit-identical to an untraced one."""
+
+import pytest
+
+from repro.experiments.harness import cell_jobspec
+from repro.obs import AccessTrace, AccessTraceSet, SimInstrument
+from repro.runtime import Executor, run_spec
+
+
+def _pair(backend: str):
+    """(untraced, traced, trace) results for one tiny cell."""
+    spec = cell_jobspec(backend, "3-CF", "citeseer", "tiny")
+    plain = run_spec(spec, use_cache=False)
+    trace = AccessTrace()
+    traced = run_spec(spec, use_cache=False, access_trace=trace)
+    assert plain.ok and traced.ok
+    return plain, traced, trace
+
+
+class TestZeroPerturbationAccessTrace:
+    @pytest.mark.parametrize("backend", ["gramer", "fractal", "rstream"])
+    def test_detail_and_timings_identical(self, backend):
+        plain, traced, _ = _pair(backend)
+        # detail embeds the full stats dict (SimStats.as_dict() for the
+        # simulator, the CPU breakdown for the baselines): byte-identical.
+        assert traced.detail == plain.detail
+        assert traced.seconds == plain.seconds
+        assert traced.energy_j == plain.energy_j
+        assert traced.system == plain.system
+
+    def test_gramer_trace_captures_all_regions(self):
+        _, _, trace = _pair("gramer")
+        assert {"adjacency", "on1-rank", "ancestor-buffer"} <= set(
+            trace.regions()
+        )
+        assert len(trace) > 0
+
+    def test_baseline_traces_capture_postl2_channel(self):
+        for backend in ("fractal", "rstream"):
+            spec = cell_jobspec(backend, "3-CF", "p2p", "tiny")
+            trace = AccessTrace()
+            result = run_spec(spec, use_cache=False, access_trace=trace)
+            assert result.ok
+            assert trace.select(region="adjacency", level="offchip")
+
+    def test_traced_runs_never_touch_the_job_cache(self):
+        from repro.runtime import ArtifactCache
+
+        cache = ArtifactCache(use_disk=False)
+        spec = cell_jobspec("fractal", "3-CF", "citeseer", "tiny")
+        run_spec(spec, cache=cache, access_trace=AccessTrace())
+        hit, _ = cache.lookup("job", spec.cache_key())
+        assert not hit
+
+    def test_instrument_and_access_trace_cannot_combine(self):
+        spec = cell_jobspec("gramer", "3-CF", "citeseer", "tiny")
+        with pytest.raises(ValueError, match="cannot be combined"):
+            run_spec(
+                spec,
+                use_cache=False,
+                instrument=SimInstrument(),
+                access_trace=AccessTrace(),
+            )
+        with pytest.raises(ValueError, match="cannot be combined"):
+            Executor(jobs=1).run(
+                [spec],
+                instrument=SimInstrument(),
+                access_traces=AccessTraceSet(),
+            )
+
+    def test_executor_opens_one_trace_per_spec(self):
+        specs = [
+            cell_jobspec("fractal", "3-CF", "citeseer", "tiny"),
+            cell_jobspec("rstream", "3-CF", "citeseer", "tiny"),
+        ]
+        traces = AccessTraceSet()
+        results = Executor(jobs=1).run(specs, access_traces=traces)
+        assert all(r.ok for r in results)
+        assert len(traces) == 2
+        for spec in specs:
+            trace = traces.get(spec.label())
+            assert trace is not None
+            assert trace.meta["backend"] == spec.backend

@@ -120,8 +120,53 @@ class TestCLI:
             e["cat"] for e in payload["traceEvents"] if e["ph"] != "M"
         }
         assert {"pu", "memory", "steal", "executor"} <= categories
-        for line in jsonl.read_text().splitlines():
+        lines = jsonl.read_text().splitlines()
+        assert json.loads(lines[0])["kind"] == "gramer-trace"  # header
+        for line in lines[1:]:
             assert validate_event(json.loads(line)) == []
+
+    def test_memprofile_text_report(self, capsys):
+        main(["memprofile", "--dataset", "citeseer", "--scale", "tiny",
+              "--app", "3-CF", "--backends", "gramer", "--no-cache"])
+        out = capsys.readouterr().out
+        assert "memory access profile: gramer" in out
+        assert "adjacency" in out
+        assert "1024B rows x 8 streams" in out
+
+    def test_memprofile_compare_and_out(self, tmp_path, capsys):
+        report = tmp_path / "compare.txt"
+        main(["memprofile", "--dataset", "citeseer", "--scale", "tiny",
+              "--app", "3-CF", "--compare", "gramer", "fractal",
+              "--no-cache", "--out", str(report)])
+        assert "wrote" in capsys.readouterr().out
+        text = report.read_text()
+        assert "seq gramer" in text and "seq fractal" in text
+
+    def test_memprofile_json_is_machine_readable(self, capsys):
+        main(["memprofile", "--dataset", "citeseer", "--scale", "tiny",
+              "--app", "3-CF", "--backends", "fractal", "--no-cache",
+              "--format", "json"])
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fractal"]["schema_version"] == 1
+
+    def test_memprofile_requires_dataset(self):
+        with pytest.raises(SystemExit, match="--dataset"):
+            main(["memprofile", "--app", "3-CF"])
+        with pytest.raises(SystemExit, match="unknown dataset"):
+            main(["memprofile", "--dataset", "nope", "--app", "3-CF"])
+
+    def test_sweep_access_report(self, tmp_path, capsys):
+        report = tmp_path / "access.md"
+        main(["sweep", "--apps", "3-CF", "--datasets", "citeseer",
+              "--backends", "gramer", "fractal", "--scale", "tiny",
+              "--access-report", str(report)])
+        out = capsys.readouterr().out
+        assert "traced cell" in out
+        text = report.read_text()
+        assert text.startswith("| cell |")
+        assert "gramer:3-CF@citeseer/tiny" in text
 
     def test_trace_unknown_dataset_errors(self):
         with pytest.raises(SystemExit, match="unknown dataset"):
