@@ -18,7 +18,7 @@ import time
 from pathlib import Path
 
 from repro.accel.config import GramerConfig
-from repro.accel.sim import ENGINES, make_simulator
+from repro.accel.sim import BIT_IDENTICAL_ENGINES, make_simulator
 from repro.experiments import datasets
 from repro.experiments.paper_data import TABLE3_APPS
 from repro.runtime.backends import build_app
@@ -51,12 +51,12 @@ def main() -> None:
     args = parser.parse_args()
 
     cells = []
-    totals = dict.fromkeys(ENGINES, 0.0)
+    totals = dict.fromkeys(BIT_IDENTICAL_ENGINES, 0.0)
     for app_name in TABLE3_APPS:
         for graph_name in datasets.DATASET_ORDER:
             row = {"app": app_name, "graph": graph_name}
             outputs = {}
-            for engine in ENGINES:
+            for engine in BIT_IDENTICAL_ENGINES:
                 wall, stats_json = time_cell(
                     app_name, graph_name, engine, args.repeat
                 )

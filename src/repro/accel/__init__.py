@@ -17,6 +17,7 @@ from .resources import (
 )
 from .fastsim import FastGramerSimulator
 from .sim import (
+    BIT_IDENTICAL_ENGINES,
     DEFAULT_ENGINE,
     ENGINES,
     AncestorBufferOverflowError,
@@ -24,6 +25,7 @@ from .sim import (
     SimResult,
     make_simulator,
 )
+from .turbosim import TurboGramerSimulator
 from .stats import SimStats
 
 __all__ = [
@@ -45,8 +47,10 @@ __all__ = [
     "AncestorBufferOverflowError",
     "GramerSimulator",
     "FastGramerSimulator",
+    "TurboGramerSimulator",
     "make_simulator",
     "ENGINES",
+    "BIT_IDENTICAL_ENGINES",
     "DEFAULT_ENGINE",
     "SimResult",
     "SimStats",

@@ -59,6 +59,7 @@ __all__ = [
     "SimResult",
     "AncestorBufferOverflowError",
     "ENGINES",
+    "BIT_IDENTICAL_ENGINES",
     "DEFAULT_ENGINE",
     "make_simulator",
     "resolve_vertex_rank",
@@ -69,9 +70,18 @@ _STEAL_RETRY_CYCLES = 32
 #: Engine choices accepted everywhere an ``engine=`` knob exists.
 #: ``"fast"`` is the batched engine of :mod:`repro.accel.fastsim`,
 #: bit-identical to ``"reference"`` (the event-by-event model below) and
-#: the default for every untraced run.
-ENGINES = ("fast", "reference")
+#: the default for every untraced run.  ``"turbo"``
+#: (:mod:`repro.accel.turbosim`) keeps the mining pass exact but replays
+#: timing through a decoupled batched model — timing fields are within
+#: declared tolerance bands of the reference, not byte-equal
+#: (docs/turbo.md).
+ENGINES = ("fast", "reference", "turbo")
 DEFAULT_ENGINE = "fast"
+
+#: The engines whose ``SimStats`` are byte-identical to each other; the
+#: bit-identity differential suite and benchmarks iterate these, never
+#: ``ENGINES`` (turbo is validated by the tolerance suite instead).
+BIT_IDENTICAL_ENGINES = ("fast", "reference")
 
 
 def resolve_vertex_rank(
@@ -112,9 +122,12 @@ def make_simulator(
     ``engine="fast"`` (the default) returns the batched engine, which is
     bit-identical to the reference on every ``SimStats`` field (proven by
     ``tests/differential/``).  ``engine="reference"`` forces the
-    event-by-event model.  Passing an ``instrument`` or an
-    ``access_trace`` always selects the reference engine: observability
-    hooks fire on per-event state the fast engine does not materialise.
+    event-by-event model.  ``engine="turbo"`` returns the decoupled-timing
+    engine: mining counts and exception behaviour stay exact while timing
+    fields are only tolerance-banded against the reference
+    (``tests/differential/tolerance.py``).  Passing an ``instrument`` or
+    an ``access_trace`` always selects the reference engine: observability
+    hooks fire on per-event state the batched engines do not materialise.
     """
     if engine not in ENGINES:
         raise ValueError(
@@ -128,6 +141,15 @@ def make_simulator(
             use_on1_ranks=use_on1_ranks,
             instrument=instrument,
             access_trace=access_trace,
+        )
+    if engine == "turbo":
+        from .turbosim import TurboGramerSimulator
+
+        return TurboGramerSimulator(
+            graph,
+            config,
+            vertex_rank=vertex_rank,
+            use_on1_ranks=use_on1_ranks,
         )
     from .fastsim import FastGramerSimulator
 

@@ -98,7 +98,7 @@ def _cmd_simulate(args) -> None:
         from repro.obs import SimInstrument
 
         instrument = SimInstrument(window_cycles=args.trace_window)
-        if args.engine == "fast":
+        if args.engine != "reference":
             print("note: traced runs use the reference engine "
                   "(obs hooks observe per-event state)")
     print(degree_stats(graph).describe())
@@ -108,9 +108,12 @@ def _cmd_simulate(args) -> None:
             graph, config, engine=args.engine, instrument=instrument
         ).run(app)
     except AncestorBufferOverflowError:
-        raise  # model-level outcome: identical in both engines
+        raise  # model-level outcome: identical in every engine
     except Exception as exc:
         if args.engine != "fast" or instrument is not None:
+            # Only the fast engine degrades to the reference (they are
+            # byte-identical); turbo results are tolerance-banded, so a
+            # turbo failure must surface, not be silently substituted.
             raise
         # Graceful degradation (docs/resilience.md): one logged shot on
         # the reference engine before giving up on the run.
@@ -191,9 +194,10 @@ def _cmd_sweep(args) -> None:
             raise SystemExit(
                 f"unknown dataset {name!r}; see `gramer datasets`"
             )
-    # Engine selection only applies to the simulator backend; the default
-    # engine stays out of the spec so artifact-cache keys are unchanged
-    # (both engines produce byte-identical results anyway).
+    # Engine selection only applies to the simulator backend.  The default
+    # engine stays out of the spec so artifact-cache keys are unchanged;
+    # a non-default engine (reference, or the tolerance-banded turbo)
+    # rides in params and therefore gets its own cache key.
     gramer_params = (
         {"engine": args.engine} if args.engine != DEFAULT_ENGINE else None
     )
@@ -489,7 +493,7 @@ def _cmd_trace(args) -> None:
         raise SystemExit(
             f"unknown dataset {args.dataset!r}; see `gramer datasets`"
         )
-    if args.engine == "fast":
+    if args.engine != "reference":
         print("note: traced runs use the reference engine "
               "(obs hooks observe per-event state)")
     tracer = Tracer()
@@ -789,7 +793,9 @@ def main(argv: list[str] | None = None) -> None:
     simulate.add_argument("--engine", default=DEFAULT_ENGINE,
                           choices=list(ENGINES),
                           help="simulation engine (fast is byte-identical "
-                               "to reference; traced runs force reference)")
+                               "to reference, turbo is tolerance-banded "
+                               "timing with exact mining; traced runs "
+                               "force reference)")
     simulate.set_defaults(func=_cmd_simulate)
 
     experiment = sub.add_parser("experiment",
@@ -842,8 +848,9 @@ def main(argv: list[str] | None = None) -> None:
                        help="write a Chrome-trace of job lifecycle to PATH")
     sweep.add_argument("--engine", default=DEFAULT_ENGINE,
                        choices=list(ENGINES),
-                       help="simulation engine for gramer cells "
-                            "(results are byte-identical either way)")
+                       help="simulation engine for gramer cells (fast is "
+                            "byte-identical to reference; turbo keeps "
+                            "mining exact, timing tolerance-banded)")
     sweep.set_defaults(func=_cmd_sweep)
 
     memprofile = sub.add_parser(

@@ -35,6 +35,7 @@ from repro.accel.config import GramerConfig
 from repro.accel.energy import EnergyParams, cpu_energy, gramer_energy
 from repro.accel.sim import (
     DEFAULT_ENGINE,
+    ENGINES,
     AncestorBufferOverflowError,
     SimResult,
     make_simulator,
@@ -263,6 +264,15 @@ class GramerBackend:
         access_trace: "AccessTrace | None" = None,
     ) -> JobResult:
         params = spec.params_dict()
+        engine = str(params.get("engine", DEFAULT_ENGINE))
+        if engine not in ENGINES:
+            # Validate before any graph loading/app construction: a typo'd
+            # engine used to surface as a late factory error after the
+            # (possibly expensive) dataset was already resolved.
+            raise ValueError(
+                f"unknown engine {engine!r} for backend {self.name!r}; "
+                f"expected one of {ENGINES}"
+            )
         app = _make_app_for(spec)
         graph = resolve_graph(spec, app.needs_labels)
         cfg = experiment_config(**spec.config_dict())
@@ -277,7 +287,6 @@ class GramerBackend:
             vertex_rank = cached_vertex_rank(graph)
         else:
             vertex_rank = None
-        engine = str(params.get("engine", DEFAULT_ENGINE))
 
         def simulate(selected_engine: str) -> SimResult:
             # Engine selection rides in params; instrumented and
@@ -303,6 +312,11 @@ class GramerBackend:
             raise
         except Exception as exc:
             if engine != "fast" or instrument is not None or access_trace is not None:
+                # Only the fast engine may degrade to the reference: the
+                # two are bit-identical when healthy, so substitution is
+                # invisible.  Turbo results are tolerance-banded, not
+                # byte-comparable — silently swapping in reference stats
+                # would change the cell, so a turbo failure is a failure.
                 raise
             # Graceful degradation (docs/resilience.md): a fast-engine
             # internal error gets one logged shot on the reference engine

@@ -18,6 +18,7 @@ CORPUS = {
     "bad_crossproc.py": {"GRM501"},
     "bad_observability.py": {"GRM601", "GRM602"},
     "bad_engine_selection.py": {"GRM701"},
+    "bad_turbo_timing.py": {"GRM702"},
     "bad_resilience.py": {"GRM801"},
     "bad_graph_store.py": {"GRM901"},
 }
@@ -100,6 +101,25 @@ class TestAllowedIdioms:
             if "make_simulator(graph" in line
         )
         assert lineno not in {f.line for f in flagged}
+
+    def test_turbo_timing_sanctioned_assertions_allowed(self):
+        """Mining-count ==, pytest.approx, and fast/reference byte
+        equality must all pass GRM702."""
+        source = (FIXTURES / "bad_turbo_timing.py").read_text()
+        allowed = [
+            i
+            for i, line in enumerate(source.splitlines(), start=1)
+            if "# allowed" in line
+        ]
+        assert allowed  # the fixture documents its sanctioned idioms
+        flagged = self._lines("bad_turbo_timing.py", "GRM702")
+        assert len(flagged) == 2  # exactly the two ad-hoc assertions
+        # The sanctioned idioms sit in the statements right after their
+        # "# allowed" comments; none of those statements may be flagged.
+        for comment_line in allowed:
+            assert not any(
+                comment_line <= f <= comment_line + 4 for f in flagged
+            )
 
     def test_scalar_submission_allowed(self):
         source = (FIXTURES / "bad_crossproc.py").read_text()
@@ -190,6 +210,39 @@ class TestRuleEdgeCases:
         source = "sim = GramerSimulator(graph, config)\n"
         relpath = "src/repro/accel/fastsim.py"
         assert check_source(source, relpath, relpath=relpath) == []
+
+    def test_turbo_timing_equality_flagged_in_turbo_scope(self):
+        source = (
+            "def test_cell(graph, config, app, ref):\n"
+            "    t = make_simulator(graph, config, engine='turbo').run(app)\n"
+            "    assert t.stats.cycles == ref.stats.cycles\n"
+        )
+        findings = [
+            f
+            for f in check_source(source, "tests/foo/test_cell.py")
+            if f.rule_id == "GRM702"
+        ]
+        assert len(findings) == 1
+        assert "'cycles'" in findings[0].message
+
+    def test_turbo_docstring_mention_is_not_evidence(self):
+        source = (
+            "def test_determinism(run_a, run_b):\n"
+            '    """Same engine twice; see docs/turbo.md for the tiers."""\n'
+            "    assert run_a.stats.cycles == run_b.stats.cycles\n"
+        )
+        findings = check_source(source, "tests/foo/test_det.py")
+        # (GRM402 may still comment on the float equality; the point
+        # here is that a docstring mention alone is not turbo evidence.)
+        assert not any(f.rule_id == "GRM702" for f in findings)
+
+    def test_turbo_mining_count_equality_not_flagged(self):
+        source = (
+            "def test_counts(turbo_result, ref):\n"
+            "    assert (turbo_result.stats.candidates_checked\n"
+            "            == ref.stats.candidates_checked)\n"
+        )
+        assert check_source(source, "tests/foo/test_counts.py") == []
 
     def test_print_allowed_on_sanctioned_output_surfaces(self):
         for relpath in (

@@ -23,7 +23,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.accel.config import GramerConfig
-from repro.accel.sim import ENGINES, make_simulator
+from repro.accel.sim import BIT_IDENTICAL_ENGINES, make_simulator
 from repro.experiments import datasets
 from repro.experiments.paper_data import TABLE3_APPS
 from repro.graph import erdos_renyi, powerlaw_cluster, random_labels
@@ -59,7 +59,7 @@ def _snapshot(graph, config, app_name, engine, vertex_rank=None):
 def assert_engines_agree(graph, config, app_name, vertex_rank=None):
     fast, reference = (
         _snapshot(graph, config, app_name, engine, vertex_rank)
-        for engine in ENGINES
+        for engine in BIT_IDENTICAL_ENGINES
     )
     if fast != reference:
         for key in reference:
@@ -147,7 +147,7 @@ def _grid_cell(app_name, graph_name):
     graph = loader(graph_name, scale)
     config = GramerConfig()
     results = {}
-    for engine in ENGINES:
+    for engine in BIT_IDENTICAL_ENGINES:
         cell_app = build_app(app_name, graph_name, scale)
         result = make_simulator(graph, config, engine=engine).run(cell_app)
         results[engine] = (
