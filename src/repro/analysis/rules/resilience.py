@@ -14,6 +14,17 @@ cells.
   fine), log through :func:`repro.obs.log.get_logger`, or let it
   propagate into the runtime's failure isolation, which turns it into a
   classified, ledgered ``JobResult``.
+* ``GRM802`` — non-atomic write in ``repro/runtime/``: a bare
+  ``open(..., "w")`` (or ``"wb"``/``"w+"``...) or a
+  ``.write_text()``/``.write_bytes()`` call outside the blessed
+  :mod:`repro.runtime.atomicio` helpers.  Runtime files are *shared
+  durable state* — cache envelopes, claim files, manifests — read by
+  concurrent sweep workers; a write-in-place tears under crash or
+  contention into exactly the corruption the quarantine machinery then
+  has to mop up.  Route the write through ``atomic_write_bytes`` /
+  ``atomic_write_text`` (tmp + fsync + rename) or
+  ``exclusive_create_text`` (``O_CREAT|O_EXCL``); append-mode journal
+  handles and reads are untouched.
 """
 
 from __future__ import annotations
@@ -109,3 +120,76 @@ def exception_swallowing(context: ModuleContext) -> Iterator[Finding]:
             "repro.obs.log.get_logger(), or let the runtime's failure "
             "isolation classify and ledger it",
         )
+
+
+#: GRM802 scopes itself to the runtime package — the one place where
+#: written files are shared durable state (cache entries, claims,
+#: manifests, journals) read by concurrent worker processes.
+_GRM802_SCOPE = "runtime/"
+
+#: The module that *implements* the blessed write shapes; its internals
+#: are necessarily below the abstraction the rule enforces.
+_GRM802_EXEMPT = "atomicio"
+
+
+def _open_write_mode(call: ast.Call) -> str | None:
+    """The literal write mode of a builtin ``open`` call, if any.
+
+    Only constant-string modes are judged (a computed mode is out of
+    conservative scope).  Append (``"a"``) is allowed: single-``write()``
+    appends on a journal handle are the ledger's blessed shape.
+    """
+    fn = call.func
+    if not (isinstance(fn, ast.Name) and fn.id == "open"):
+        return None
+    mode: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if not (isinstance(mode, ast.Constant) and isinstance(mode.value, str)):
+        return None
+    if "w" in mode.value or "x" in mode.value:
+        return mode.value
+    return None
+
+
+@rule(
+    "GRM802",
+    "resilience",
+    "non-atomic write to shared runtime state (use repro.runtime.atomicio)",
+)
+def non_atomic_write(context: ModuleContext) -> Iterator[Finding]:
+    if _GRM802_SCOPE not in context.relpath:
+        return
+    if _GRM802_EXEMPT in context.relpath:
+        return
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        mode = _open_write_mode(node)
+        if mode is not None:
+            yield context.finding(
+                node,
+                "GRM802",
+                f"open(..., {mode!r}) writes shared runtime state in "
+                "place — a crash or concurrent reader sees a torn file; "
+                "publish via repro.runtime.atomicio.atomic_write_bytes/"
+                "atomic_write_text (tmp+fsync+rename) or "
+                "exclusive_create_text (O_EXCL) instead",
+            )
+            continue
+        fn = node.func
+        if isinstance(fn, ast.Attribute) and fn.attr in (
+            "write_text",
+            "write_bytes",
+        ):
+            yield context.finding(
+                node,
+                "GRM802",
+                f".{fn.attr}() writes shared runtime state in place — a "
+                "crash or concurrent reader sees a torn file; publish "
+                "via repro.runtime.atomicio.atomic_write_bytes/"
+                "atomic_write_text (tmp+fsync+rename) instead",
+            )

@@ -9,6 +9,12 @@
     gramer sweep --apps 3-CF 4-MC --datasets citeseer p2p --jobs 4
     gramer sweep --apps 3-CF --datasets citeseer --ledger run.jsonl
     gramer sweep --apps 3-CF --datasets citeseer --resume run.jsonl
+    gramer sweep --apps 3-CF --datasets citeseer --ledger run.jsonl \\
+                 --workers 3 --seal run.manifest.json
+    gramer worker --apps 3-CF --datasets citeseer \\
+                  --ledger run.jsonl --claims run.jsonl.claims
+    gramer manifest seal run.manifest.json --apps 3-CF --datasets citeseer
+    gramer manifest verify run.manifest.json
     gramer trace 3-CF citeseer --out trace.json
     gramer profile --dataset citeseer --app 3-CF --scale tiny
     gramer datasets
@@ -163,23 +169,14 @@ EXIT_PARTIAL = 3
 EXIT_INTERRUPTED = 130
 
 
-def _cmd_sweep(args) -> None:
-    """Cross-product sweep of apps × datasets × backends via the runtime."""
+def _sweep_specs(args) -> list:
+    """Build the apps × datasets × backends grid shared by ``sweep``,
+    ``worker``, and ``manifest`` — all three must derive the *same*
+    spec list (and therefore the same spec digests) from the same flags.
+    """
     from repro.experiments import datasets
-    from repro.experiments.harness import (
-        cell_jobspec,
-        format_seconds,
-        format_table,
-        save_results,
-    )
-    from repro.runtime import (
-        Executor,
-        JobResult,
-        RetryPolicy,
-        RunLedger,
-        backend_names,
-        load_ledger,
-    )
+    from repro.experiments.harness import cell_jobspec
+    from repro.runtime import backend_names
 
     backends = args.backends or ["gramer", "fractal", "rstream"]
     known = backend_names()
@@ -201,7 +198,7 @@ def _cmd_sweep(args) -> None:
     gramer_params = (
         {"engine": args.engine} if args.engine != DEFAULT_ENGINE else None
     )
-    specs = [
+    return [
         cell_jobspec(
             backend,
             app,
@@ -213,6 +210,41 @@ def _cmd_sweep(args) -> None:
         for graph in graphs
         for backend in backends
     ]
+
+
+def _seal_after_sweep(args, specs) -> None:
+    """Handle ``sweep --seal PATH``: manifest the completed grid."""
+    from repro.runtime import ManifestError, default_cache, seal_manifest
+
+    try:
+        manifest = seal_manifest(args.seal, specs, default_cache())
+    except ManifestError as exc:
+        raise SystemExit(f"seal failed: {exc}") from None
+    print(
+        f"sealed {args.seal}: {len(manifest.leaves)} leaves, "
+        f"root {manifest.root}"
+    )
+
+
+def _cmd_sweep(args) -> None:
+    """Cross-product sweep of apps × datasets × backends via the runtime."""
+    from repro.experiments.harness import (
+        format_seconds,
+        format_table,
+        save_results,
+    )
+    from repro.runtime import (
+        Executor,
+        JobResult,
+        RetryPolicy,
+        RunLedger,
+        load_ledger,
+    )
+
+    specs = _sweep_specs(args)
+    if args.workers:
+        _run_distributed_sweep(args, specs)
+        return
     tracer = None
     if args.trace:
         from repro.obs import Tracer
@@ -238,9 +270,39 @@ def _cmd_sweep(args) -> None:
     resumed: dict[int, JobResult] = {}
     pending: list = []
     if resume_state is not None:
+        # A ledger `ok` line is a *claim*, not proof: the artifact behind
+        # it may have been deleted, evicted, or corrupted since.  When the
+        # cache is in play, trust-but-verify every resumed cell against
+        # its disk envelope (corrupt entries are quarantined by the check
+        # itself) and re-run the ones that no longer validate.  Under
+        # --no-cache the ledger record is the whole result and stands
+        # alone, so there is nothing to cross-check.
+        verify_cache = None
+        if not args.no_cache:
+            from repro.runtime import JOB_KIND, default_cache
+
+            verify_cache = default_cache()
         for index, spec in enumerate(specs):
             entry = resume_state.entry_for(spec)
             if entry is not None and entry.completed:
+                if (
+                    verify_cache is not None
+                    and verify_cache.entry_checksum(
+                        JOB_KIND, spec.cache_key()
+                    )
+                    is None
+                ):
+                    # Drop any in-process memory copy too: a memory hit
+                    # would satisfy the re-run without restoring the disk
+                    # artifact the verification just found missing.
+                    verify_cache.evict_memory(JOB_KIND, spec.cache_key())
+                    print(
+                        f"resume: ledger marks {spec.label()} ok but its "
+                        "cached artifact is missing or failed "
+                        "verification; re-running"
+                    )
+                    pending.append(spec)
+                    continue
                 resumed[index] = JobResult(
                     spec=spec,
                     system=entry.system or spec.backend,
@@ -378,9 +440,201 @@ def _cmd_sweep(args) -> None:
         )
         print(f"wrote {args.out}")
     if failed:
+        if args.seal:
+            print("seal skipped: a manifest only attests to a fully-ok grid")
         raise SystemExit(
             EXIT_TOTAL_FAILURE if failed == len(results) else EXIT_PARTIAL
         )
+    if args.seal:
+        if args.no_cache:
+            raise SystemExit(
+                "--seal needs the artifact cache (manifests bind cached "
+                "artifact checksums); drop --no-cache"
+            )
+        _seal_after_sweep(args, specs)
+
+
+def _run_distributed_sweep(args, specs) -> None:
+    """``sweep --workers N``: N coordinating ``gramer worker`` processes.
+
+    The parent only orchestrates — it spawns the workers (each a full
+    ``gramer worker`` invocation sharing the ledger, claim directory, and
+    artifact cache), waits, then renders the converged grid from the
+    ledger.  Workers coordinate purely through shared durable state, so
+    killing the parent never corrupts the sweep: relaunching resumes from
+    wherever the claims and journal stand.
+    """
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    from repro.experiments.harness import format_seconds, format_table
+    from repro.runtime import load_ledger
+
+    if not args.ledger:
+        raise SystemExit(
+            "--workers needs --ledger PATH: the shared journal is how "
+            "workers (and the final report) coordinate"
+        )
+    if args.resume or args.access_report or args.trace:
+        raise SystemExit(
+            "--workers cannot be combined with --resume, --access-report, "
+            "or --trace (workers resume implicitly from the shared ledger)"
+        )
+    if args.no_cache:
+        raise SystemExit(
+            "--workers needs the artifact cache: results transport "
+            "between workers as cached artifacts"
+        )
+    claims = args.claims or f"{args.ledger}.claims"
+    Path(claims).mkdir(parents=True, exist_ok=True)
+    command = [sys.executable, "-m", "repro.cli", "worker",
+               "--apps", *args.apps]
+    if args.datasets:
+        command += ["--datasets", *args.datasets]
+    if args.backends:
+        command += ["--backends", *args.backends]
+    command += [
+        "--scale", args.scale,
+        "--engine", args.engine,
+        "--ledger", str(args.ledger),
+        "--claims", str(claims),
+        "--lease", str(args.lease),
+        "--retries", str(args.retries),
+    ]
+    start = time.perf_counter()
+    procs = [
+        subprocess.Popen(command + ["--worker-id", f"w{i + 1}"])
+        for i in range(max(1, args.workers))
+    ]
+    try:
+        codes = [proc.wait() for proc in procs]
+    except KeyboardInterrupt:
+        for proc in procs:
+            proc.terminate()
+        print(
+            f"\ninterrupted; claims in {claims} expire after "
+            f"{args.lease:.0f}s and the sweep resumes from {args.ledger}"
+        )
+        raise SystemExit(EXIT_INTERRUPTED) from None
+    wall = time.perf_counter() - start
+
+    state = load_ledger(args.ledger)
+    rows = []
+    failed = 0
+    for spec in specs:
+        entry = state.entry_for(spec)
+        if entry is None:
+            status = "missing"
+            failed += 1
+        elif entry.completed:
+            status = "ok"
+        else:
+            status = f"failed: {entry.error}" if entry.error else entry.status
+            failed += 1
+        rows.append([
+            spec.app,
+            spec.graph_name,
+            (entry.system if entry else "") or spec.backend,
+            format_seconds(entry.seconds if entry else None),
+            (
+                f"{entry.energy_j * 1e3:.3f}mJ"
+                if entry and entry.energy_j
+                else "-"
+            ),
+            status,
+        ])
+    print(format_table(
+        ["App", "Graph", "System", "Modeled", "Energy", "Status"], rows
+    ))
+    takeovers = len(state.takeover_digests())
+    print(
+        f"{len(specs)} cells across {len(procs)} worker(s) in {wall:.2f}s "
+        f"({failed} failed, {takeovers} lease takeover(s)); "
+        f"worker exits: {codes}"
+    )
+    if failed:
+        if args.seal:
+            print("seal skipped: a manifest only attests to a fully-ok grid")
+        raise SystemExit(
+            EXIT_TOTAL_FAILURE if failed == len(specs) else EXIT_PARTIAL
+        )
+    if args.seal:
+        _seal_after_sweep(args, specs)
+
+
+def _cmd_worker(args) -> None:
+    """Join a distributed sweep as one claim-coordinated worker."""
+    import os
+    import socket
+
+    from repro.runtime import RetryPolicy, SweepWorker
+
+    specs = _sweep_specs(args)
+    worker_id = args.worker_id or f"{socket.gethostname()}-{os.getpid()}"
+    worker = SweepWorker(
+        specs,
+        ledger_path=args.ledger,
+        claims_root=args.claims,
+        worker_id=worker_id,
+        lease_s=args.lease,
+        retry=RetryPolicy(max_attempts=max(1, args.retries)),
+    )
+    try:
+        summary = worker.run()
+    except KeyboardInterrupt:
+        print(
+            f"\nworker {worker_id} interrupted; its claims expire after "
+            f"{args.lease:.0f}s and siblings take the cells over"
+        )
+        raise SystemExit(EXIT_INTERRUPTED) from None
+    print(
+        f"worker {worker_id}: computed {len(summary.computed)}, "
+        f"failed {len(summary.failed)}, takeovers {summary.takeovers}, "
+        f"lost leases {summary.lost_leases} in {summary.wall_seconds:.2f}s"
+    )
+    if summary.failed:
+        raise SystemExit(EXIT_PARTIAL)
+
+
+def _cmd_manifest_seal(args) -> None:
+    """Seal a Merkle manifest over a completed grid's artifacts."""
+    from repro.runtime import ManifestError, default_cache, seal_manifest
+
+    specs = _sweep_specs(args)
+    try:
+        manifest = seal_manifest(args.path, specs, default_cache())
+    except ManifestError as exc:
+        raise SystemExit(str(exc)) from None
+    print(
+        f"sealed {args.path}: {len(manifest.leaves)} leaves, "
+        f"root {manifest.root}"
+    )
+
+
+def _cmd_manifest_verify(args) -> None:
+    """Verify a sealed manifest: Merkle root + per-artifact integrity."""
+    from repro.runtime import (
+        ManifestError,
+        default_cache,
+        load_manifest,
+        verify_manifest,
+    )
+
+    try:
+        manifest = load_manifest(args.path)
+    except ManifestError as exc:
+        raise SystemExit(str(exc)) from None
+    specs = _sweep_specs(args) if args.apps else None
+    report = verify_manifest(manifest, default_cache(), specs)
+    print(report.summary())
+    if not report.ok:
+        if report.corrupt:
+            print(
+                "corrupt artifacts were quarantined; re-run the sweep to "
+                "recompute them, then verify again"
+            )
+        raise SystemExit(EXIT_TOTAL_FAILURE)
 
 
 def _memprofile_payload(
@@ -851,7 +1105,92 @@ def main(argv: list[str] | None = None) -> None:
                        help="simulation engine for gramer cells (fast is "
                             "byte-identical to reference; turbo keeps "
                             "mining exact, timing tolerance-banded)")
+    sweep.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="distributed mode: spawn N `gramer worker` "
+                            "processes sharding this grid via lease-based "
+                            "claims on --ledger (docs/resilience.md)")
+    sweep.add_argument("--claims", default=None, metavar="DIR",
+                       help="claim directory for --workers "
+                            "(default: <ledger>.claims)")
+    sweep.add_argument("--lease", type=float, default=30.0, metavar="S",
+                       help="claim lease TTL in seconds for --workers; an "
+                            "unrefreshed claim is taken over after this "
+                            "long (default: 30)")
+    sweep.add_argument("--seal", default=None, metavar="PATH",
+                       help="after a fully-ok sweep, seal a verifiable "
+                            "Merkle manifest of the grid's artifacts "
+                            "to PATH")
     sweep.set_defaults(func=_cmd_sweep)
+
+    workerp = sub.add_parser(
+        "worker",
+        help="join a distributed sweep: claim grid cells from a shared "
+             "ledger, with straggler takeover (docs/resilience.md)",
+    )
+    workerp.add_argument("--apps", nargs="+", required=True,
+                         help="applications, e.g. 3-CF 4-MC FSM-100")
+    workerp.add_argument("--datasets", nargs="*", default=None,
+                         help="proxy datasets (default: all seven)")
+    workerp.add_argument("--backends", nargs="*", default=None,
+                         help="backends (default: gramer fractal rstream)")
+    workerp.add_argument("--scale", default="small",
+                         choices=["tiny", "small", "full"])
+    workerp.add_argument("--engine", default=DEFAULT_ENGINE,
+                         choices=list(ENGINES),
+                         help="simulation engine for gramer cells")
+    workerp.add_argument("--ledger", required=True, metavar="PATH",
+                         help="the sweep's shared JSONL journal")
+    workerp.add_argument("--claims", required=True, metavar="DIR",
+                         help="the sweep's shared claim directory")
+    workerp.add_argument("--lease", type=float, default=30.0, metavar="S",
+                         help="claim lease TTL in seconds (default: 30); "
+                              "must match the other workers'")
+    workerp.add_argument("--retries", type=int, default=3,
+                         help="max attempts per job for transient failures")
+    workerp.add_argument("--worker-id", default=None,
+                         help="stable identity in claim/ledger records "
+                              "(default: <hostname>-<pid>)")
+    workerp.set_defaults(func=_cmd_worker)
+
+    manifest_p = sub.add_parser(
+        "manifest",
+        help="Merkle-manifested sweep artifacts: seal a completed grid, "
+             "verify completeness+integrity later (docs/resilience.md)",
+    )
+    manifest_sub = manifest_p.add_subparsers(
+        dest="manifest_command", required=True
+    )
+
+    m_common = argparse.ArgumentParser(add_help=False)
+    m_common.add_argument("--datasets", nargs="*", default=None,
+                          help="proxy datasets (default: all seven)")
+    m_common.add_argument("--backends", nargs="*", default=None,
+                          help="backends (default: gramer fractal rstream)")
+    m_common.add_argument("--scale", default="small",
+                          choices=["tiny", "small", "full"])
+    m_common.add_argument("--engine", default=DEFAULT_ENGINE,
+                          choices=list(ENGINES))
+
+    m_seal = manifest_sub.add_parser(
+        "seal", parents=[m_common],
+        help="bind every grid cell's cached artifact checksum into one "
+             "root-hashed manifest file",
+    )
+    m_seal.add_argument("path", help="manifest JSON output path")
+    m_seal.add_argument("--apps", nargs="+", required=True,
+                        help="applications, e.g. 3-CF 4-MC FSM-100")
+    m_seal.set_defaults(func=_cmd_manifest_seal)
+
+    m_verify = manifest_sub.add_parser(
+        "verify", parents=[m_common],
+        help="recompute the Merkle root and re-checksum every manifested "
+             "artifact (corrupt ones are quarantined and named)",
+    )
+    m_verify.add_argument("path", help="manifest JSON file to verify")
+    m_verify.add_argument("--apps", nargs="*", default=None,
+                          help="also cross-check completeness against "
+                               "this independently rebuilt grid")
+    m_verify.set_defaults(func=_cmd_manifest_verify)
 
     memprofile = sub.add_parser(
         "memprofile", parents=[common],

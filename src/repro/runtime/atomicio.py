@@ -1,0 +1,111 @@
+"""Blessed atomic-write primitives for shared runtime state.
+
+Claim files, manifests, cache entries, and ledger journals are *shared*
+durable state: multiple worker processes — possibly on different hosts
+over a shared filesystem — read and write them concurrently, and a
+crash can land between any two syscalls.  Every write to such a path
+must therefore be one of exactly three shapes:
+
+* **publish** (:func:`atomic_write_bytes` / :func:`atomic_write_text`) —
+  write the full content to a same-directory temp file, ``fsync`` it,
+  then ``os.replace`` onto the destination.  Readers see either the old
+  complete file or the new complete file, never a torn mix, on every
+  POSIX filesystem where ``rename(2)`` is atomic;
+* **claim** (:func:`exclusive_create_text`) — a single
+  ``O_CREAT | O_EXCL`` create: exactly one of N racing processes wins,
+  the rest get ``False``.  This is the mutual-exclusion primitive behind
+  :mod:`repro.runtime.claims`;
+* **append** — a single ``write()`` of one whole line on an append-mode
+  handle (the :mod:`repro.runtime.ledger` journal's contract).
+
+``gramer check`` rule **GRM802** flags bare ``open(..., "w")`` /
+``.write_text`` / ``.write_bytes`` calls inside ``repro/runtime/`` so
+new code routes through this module instead of reinventing a racy
+write-in-place.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = [
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "exclusive_create_text",
+    "fsync_directory",
+]
+
+
+def fsync_directory(path: Path) -> None:
+    """Best-effort fsync of a directory (persists renames/creates)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return  # e.g. platforms/filesystems without directory fds
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass  # durability here is best-effort by design
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: Path, data: bytes, sync: bool = True) -> None:
+    """Publish ``data`` at ``path`` via tmp + fsync + rename.
+
+    The temp file lives in the destination directory (same filesystem,
+    so the final ``os.replace`` is atomic) and is suffixed with the pid
+    so concurrent writers never collide on the staging name.  On any
+    failure the temp file is removed and the original destination is
+    left untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if sync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        if sync:
+            fsync_directory(path.parent)
+    except BaseException:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass  # cleanup is best-effort; the raise below carries the cause
+        raise
+
+
+def atomic_write_text(
+    path: Path, text: str, sync: bool = True, encoding: str = "utf-8"
+) -> None:
+    """Publish ``text`` at ``path`` via tmp + fsync + rename."""
+    atomic_write_bytes(path, text.encode(encoding), sync=sync)
+
+
+def exclusive_create_text(
+    path: Path, text: str, encoding: str = "utf-8"
+) -> bool:
+    """Create ``path`` with ``text`` iff it does not exist (O_EXCL).
+
+    Returns ``True`` when this process won the create.  ``False`` means
+    another process holds the file.  The content is fsync'd before the
+    function returns, so a winner that crashes immediately afterwards
+    still leaves a readable claim behind.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+    except FileExistsError:
+        return False
+    try:
+        os.write(fd, text.encode(encoding))
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+    return True

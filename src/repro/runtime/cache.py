@@ -42,8 +42,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
+from .atomicio import atomic_write_bytes
+
 __all__ = [
     "CACHE_VERSION",
+    "JOB_KIND",
     "ArtifactCache",
     "CacheStats",
     "default_cache",
@@ -55,6 +58,11 @@ __all__ = [
 # Bump to invalidate every stored artifact when serialized layouts change.
 # v2: checksummed envelope entries + JobResult.retries field.
 CACHE_VERSION = 2
+
+#: Cache kind under which completed ``JobResult`` artifacts live — shared
+#: by the executor (store/lookup), the distributed sweep workers, and the
+#: manifest sealer/verifier, which all address the same entries.
+JOB_KIND = "job"
 
 _ENV_CACHE_DIR = "GRAMER_CACHE_DIR"
 _DEFAULT_ROOT = Path("~/.cache/gramer-repro")
@@ -151,8 +159,14 @@ class _IntegrityError(Exception):
     """Internal: entry failed envelope/checksum verification."""
 
 
-def _decode_entry(data: bytes) -> Any:
-    """Verify and unwrap one on-disk envelope; raise on any defect."""
+def _verify_envelope(data: bytes) -> tuple[str, bytes]:
+    """Validate one on-disk envelope; return ``(sha256, payload)``.
+
+    Checks the envelope shape, the cache version, and the payload
+    checksum — everything short of unpickling the payload itself, so
+    integrity audits (manifest verification, resume validation) can run
+    without paying deserialization.
+    """
     try:
         envelope = pickle.loads(data)
     except _DECODE_ERRORS as exc:
@@ -167,8 +181,15 @@ def _decode_entry(data: bytes) -> Any:
     payload = envelope.get("payload")
     if not isinstance(payload, bytes):
         raise _IntegrityError("envelope payload is not bytes")
-    if hashlib.sha256(payload).hexdigest() != envelope.get("sha256"):
+    sha = hashlib.sha256(payload).hexdigest()
+    if sha != envelope.get("sha256"):
         raise _IntegrityError("payload checksum mismatch")
+    return sha, payload
+
+
+def _decode_entry(data: bytes) -> Any:
+    """Verify and unwrap one on-disk envelope; raise on any defect."""
+    _, payload = _verify_envelope(data)
     try:
         return pickle.loads(payload)
     except _DECODE_ERRORS as exc:
@@ -266,18 +287,42 @@ class ArtifactCache:
         self._remember((kind, digest), value)
         if not self.use_disk:
             return
-        path = self._path(kind, digest)
-        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_bytes(_encode_entry(value))
-            os.replace(tmp, path)  # atomic under concurrent pool workers
+            # Publish through the blessed tmp+fsync+rename helper: entries
+            # land whole or not at all under concurrent sweep workers.
+            atomic_write_bytes(self._path(kind, digest), _encode_entry(value))
         except OSError:
             self.stats.disk_errors += 1
-            try:
-                tmp.unlink(missing_ok=True)
-            except OSError:
-                pass
+
+    def entry_checksum(self, kind: str, key: Any) -> str | None:
+        """Verify ``(kind, key)``'s disk entry; return its payload sha256.
+
+        This is the integrity primitive behind manifest sealing and
+        verification and ``--resume`` artifact validation: it reads the
+        envelope straight from disk (never the memory tier), checks the
+        version and payload checksum, and returns the content hash —
+        *without* unpickling the payload.  A missing entry returns
+        ``None``; a corrupt or version-skewed one is quarantined (same
+        path as :meth:`lookup`) and also returns ``None``.
+        """
+        if not self.use_disk:
+            return None
+        digest = self.digest(key)
+        path = self._path(kind, digest)
+        try:
+            data = path.read_bytes() if path.exists() else None
+        except OSError:
+            self.stats.disk_errors += 1
+            return None
+        if data is None:
+            return None
+        try:
+            sha, _ = _verify_envelope(data)
+        except _IntegrityError:
+            self._quarantine(kind, digest, path)
+            self._memory.pop((kind, digest), None)
+            return None
+        return sha
 
     def get_or_create(
         self, kind: str, key: Any, producer: Callable[[], Any]

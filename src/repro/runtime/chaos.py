@@ -13,15 +13,25 @@ job execution:
   subclass, so it is *transient* by the retry classifier's own rules);
 * ``corrupt`` — after the job's result is stored, its artifact-cache disk
   entry is bit-flipped and evicted from the memory tier (the next read
-  must checksum-fail, quarantine, and recompute).
+  must checksum-fail, quarantine, and recompute);
+* ``claim-race`` — a distributed sweep worker delays before every claim
+  attempt, aligning racing workers onto the same cells so the
+  ``O_CREAT|O_EXCL`` exclusivity of :mod:`repro.runtime.claims` is
+  exercised under maximum contention;
+* ``lease-expiry`` — a distributed sweep worker suppresses its lease
+  heartbeat and stalls mid-cell past the TTL, so a sibling must take the
+  claim over *while the straggler is still running* (the straggler then
+  finishes as a benign, byte-identical duplicate).
 
 Faults are described by a :class:`FaultPlan` — a frozen, picklable value
 that crosses into pool workers — and each :class:`FaultSpec` names the
 *attempt number* it fires on, so a fault plan is a deterministic script:
 ``raise@1`` fails the first attempt and lets the retry succeed.  Plans
 come from ``Executor(faults=...)`` or the ``GRAMER_FAULTS`` environment
-variable (``kind[@attempt][=label-substring]``, ``;``-separated, e.g.
-``kill@1=gramer:3-CF;raise@1=fractal``).
+variable (``kind[:seconds][@attempt][=label-substring]``, ``;``-separated,
+e.g. ``kill@1=gramer:3-CF;raise@1=fractal;lease-expiry:2.5@1``; the
+optional ``:seconds`` sets the duration knob — hang length, claim-race
+delay, or mid-cell stall).
 
 Chaos tests assert the end state: a fault-injected sweep converges to
 results byte-identical (``JobResult.fingerprint``) to a fault-free run.
@@ -47,13 +57,15 @@ __all__ = [
     "active_fault_plan",
     "apply_cache_corruption",
     "apply_pre_run_faults",
+    "claim_race_delay_s",
     "corrupt_entry",
+    "lease_expiry_stall_s",
     "parse_fault_plan",
 ]
 
 _ENV_FAULTS = "GRAMER_FAULTS"
 
-FAULT_KINDS = ("kill", "hang", "raise", "corrupt")
+FAULT_KINDS = ("kill", "hang", "raise", "corrupt", "claim-race", "lease-expiry")
 
 _log = get_logger("runtime.chaos")
 
@@ -74,7 +86,11 @@ class FaultSpec:
     kind: str
     match: str = ""  # substring of ``spec.label()``; "" matches every job
     attempt: int = 1  # 1-based attempt number the fault fires on
-    hang_s: float = 30.0  # sleep length for ``hang`` faults
+    # Duration knob (the ``:seconds`` token): hang length for ``hang``,
+    # pre-claim delay for ``claim-race``, mid-cell stall for
+    # ``lease-expiry``.  The claim-race default is small on purpose —
+    # just enough to line contending workers up on the same cells.
+    hang_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -103,13 +119,18 @@ class FaultPlan:
         return [f for f in self.faults if f.applies(label, attempt)]
 
 
+_DEFAULT_DURATION_S = {"claim-race": 0.05}
+
+
 def parse_fault_plan(text: str) -> FaultPlan:
     """Parse ``GRAMER_FAULTS`` syntax into a plan.
 
-    Tokens are ``;``-separated, each ``kind[@attempt][=match]``.
-    Malformed tokens are *dropped with a logged warning* naming the bad
-    value — a typo'd fault plan must not silently run fault-free (the
-    same contract ``resolve_jobs`` applies to ``GRAMER_JOBS``).
+    Tokens are ``;``-separated, each ``kind[:seconds][@attempt][=match]``
+    (``:seconds`` sets the duration knob for hang/claim-race/
+    lease-expiry).  Malformed tokens are *dropped with a logged warning*
+    naming the bad value — a typo'd fault plan must not silently run
+    fault-free (the same contract ``resolve_jobs`` applies to
+    ``GRAMER_JOBS``).
     """
     faults: list[FaultSpec] = []
     for token in text.split(";"):
@@ -117,12 +138,22 @@ def parse_fault_plan(text: str) -> FaultPlan:
         if not token:
             continue
         head, _, match = token.partition("=")
-        kind, _, attempt_text = head.strip().partition("@")
+        kind_part, _, attempt_text = head.strip().partition("@")
+        kind, _, duration_text = kind_part.strip().partition(":")
         kind = kind.strip()
         try:
             attempt = int(attempt_text) if attempt_text.strip() else 1
+            if duration_text.strip():
+                hang_s = float(duration_text)
+            else:
+                hang_s = _DEFAULT_DURATION_S.get(kind, 30.0)
             faults.append(
-                FaultSpec(kind=kind, match=match.strip(), attempt=attempt)
+                FaultSpec(
+                    kind=kind,
+                    match=match.strip(),
+                    attempt=attempt,
+                    hang_s=hang_s,
+                )
             )
         except ValueError as exc:
             _log.warning(
@@ -174,6 +205,40 @@ def apply_pre_run_faults(
             )
 
 
+def claim_race_delay_s(plan: FaultPlan, label: str, attempt: int = 1) -> float:
+    """Total scripted pre-claim delay for this cell (0.0 = no fault).
+
+    Called by the distributed sweep worker immediately before each claim
+    attempt; the delay widens the race window so contending workers hit
+    ``O_CREAT|O_EXCL`` on the same cells at the same moment.
+    """
+    return sum(
+        fault.hang_s
+        for fault in plan.matching(label, attempt)
+        if fault.kind == "claim-race"
+    )
+
+
+def lease_expiry_stall_s(
+    plan: FaultPlan, label: str, attempt: int = 1
+) -> float:
+    """Scripted mid-cell stall with the heartbeat suppressed (0.0 = none).
+
+    A positive value makes the worker hold its claim *without
+    refreshing* for that long before running the cell — modelling a
+    straggler whose lease must expire mid-run and be taken over by a
+    sibling.
+    """
+    return max(
+        (
+            fault.hang_s
+            for fault in plan.matching(label, attempt)
+            if fault.kind == "lease-expiry"
+        ),
+        default=0.0,
+    )
+
+
 def corrupt_entry(cache: ArtifactCache, kind: str, key: object) -> bool:
     """Bit-flip ``(kind, key)``'s disk entry and drop its memory copy.
 
@@ -190,6 +255,8 @@ def corrupt_entry(cache: ArtifactCache, kind: str, key: object) -> bool:
         return False
     index = len(data) // 2
     data[index] ^= 0xFF
+    # gramer: ignore[GRM802] -- deliberately *non*-atomic write-in-place:
+    # this simulates the corruption the atomic helpers exist to prevent.
     path.write_bytes(bytes(data))
     return True
 

@@ -51,7 +51,7 @@ from repro.obs.log import get_logger
 from repro.obs.tracer import Tracer
 
 from .backends import get_backend, graph_digest_for, prime_graph_digest
-from .cache import ArtifactCache, default_cache
+from .cache import JOB_KIND, ArtifactCache, default_cache
 from .chaos import (
     FaultPlan,
     active_fault_plan,
@@ -65,7 +65,6 @@ from .spec import JobResult, JobSpec, failed_result
 __all__ = ["Executor", "run_spec", "resolve_jobs"]
 
 _ENV_JOBS = "GRAMER_JOBS"
-_JOB_KIND = "job"
 
 ProgressFn = Callable[[JobResult, int, int], None]
 
@@ -128,7 +127,7 @@ def run_spec(
     label = spec.label()
     observed = instrument is not None or access_trace is not None
     if use_cache and not observed:
-        hit, value = cache.lookup(_JOB_KIND, key)
+        hit, value = cache.lookup(JOB_KIND, key)
         if hit and isinstance(value, JobResult):
             _log.debug("cache hit %s", label)
             return value.as_cached()
@@ -192,8 +191,8 @@ def run_spec(
         result, cache_key=cache.digest(key), retries=attempt - 1
     )
     if use_cache and not observed and result.ok:
-        cache.store(_JOB_KIND, key, result)
-        apply_cache_corruption(plan, cache, _JOB_KIND, key, label, attempt)
+        cache.store(JOB_KIND, key, result)
+        apply_cache_corruption(plan, cache, JOB_KIND, key, label, attempt)
     _log.debug("finish %s in %.3fs", label, result.wall_seconds)
     return result
 
@@ -377,7 +376,7 @@ class Executor:
             pending: list[int] = []
             for index, spec in enumerate(specs):
                 if self.use_cache:
-                    hit, value = self.cache.lookup(_JOB_KIND, spec.cache_key())
+                    hit, value = self.cache.lookup(JOB_KIND, spec.cache_key())
                     if hit and isinstance(value, JobResult):
                         _log.debug("cache hit %s", spec.label())
                         note(value.as_cached(), index)
@@ -541,11 +540,11 @@ class Executor:
                     attempts[index] = result.retries + 1
                     if self.use_cache and result.ok:
                         key = spec.cache_key()
-                        self.cache.store(_JOB_KIND, key, result)
+                        self.cache.store(JOB_KIND, key, result)
                         apply_cache_corruption(
                             self.faults,
                             self.cache,
-                            _JOB_KIND,
+                            JOB_KIND,
                             key,
                             spec.label(),
                             attempts[index],

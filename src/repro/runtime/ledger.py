@@ -35,14 +35,26 @@ from .spec import JobResult, JobSpec
 
 __all__ = [
     "LEDGER_VERSION",
+    "ClaimRecord",
     "LedgerEntry",
     "LedgerState",
+    "LedgerVersionError",
     "RunLedger",
     "load_ledger",
     "spec_digest",
 ]
 
-LEDGER_VERSION = 1
+#: Journal format version, written into every ``sweep_start`` header.
+#: Replay **accepts older** versions (their records are a subset of what
+#: the current loader understands) and **rejects newer** ones with a
+#: :class:`LedgerVersionError` — a ledger written by a future runtime may
+#: carry record shapes this loader would silently misparse.
+#: v2: claim-lifecycle records + per-record ``worker`` provenance.
+LEDGER_VERSION = 2
+
+
+class LedgerVersionError(ValueError):
+    """A ledger header declares a version newer than this runtime."""
 
 _log = get_logger("runtime.ledger")
 
@@ -71,6 +83,23 @@ class LedgerEntry:
         return self.status == "ok"
 
 
+@dataclass(frozen=True)
+class ClaimRecord:
+    """One claim-lifecycle event replayed from the ledger.
+
+    ``action`` is ``"claimed"`` (fresh O_EXCL acquisition),
+    ``"takeover"`` (an expired lease re-claimed from a straggler),
+    ``"released"`` (the owner finished and removed its claim), or
+    ``"lost"`` (the owner noticed its lease had been taken over).
+    """
+
+    digest: str
+    label: str
+    worker: str
+    generation: int
+    action: str
+
+
 @dataclass
 class LedgerState:
     """Parsed view of a ledger file: final status per digest."""
@@ -78,9 +107,27 @@ class LedgerState:
     entries: dict[str, LedgerEntry] = field(default_factory=dict)
     attempts: dict[str, int] = field(default_factory=dict)
     truncated_lines: int = 0
+    claims: list[ClaimRecord] = field(default_factory=list)
+    finish_counts: dict[str, int] = field(default_factory=dict)
+    version: int | None = None
 
     def completed_digests(self) -> set[str]:
         return {d for d, e in self.entries.items() if e.completed}
+
+    def terminal_digests(self) -> set[str]:
+        """Digests with a recorded outcome, ok *or* failed.
+
+        Distributed workers treat a failed cell as terminal for the run
+        (``run_spec`` already spent its transient-retry budget); only
+        started-but-never-finished cells are re-claimable.
+        """
+        return {
+            d for d, e in self.entries.items() if e.status in ("ok", "failed")
+        }
+
+    def takeover_digests(self) -> set[str]:
+        """Digests whose claim was ever taken over from an expired lease."""
+        return {c.digest for c in self.claims if c.action == "takeover"}
 
     def entry_for(self, spec: JobSpec) -> LedgerEntry | None:
         return self.entries.get(spec_digest(spec))
@@ -98,8 +145,9 @@ class RunLedger:
     ``finish`` record and on interrupt shutdown).
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, worker: str = "") -> None:
         self.path = Path(path)
+        self.worker = worker
         self._handle: IO[str] | None = None
 
     # -- low-level record plumbing ------------------------------------------
@@ -157,6 +205,7 @@ class RunLedger:
                 "digest": spec_digest(spec),
                 "label": spec.label(),
                 "attempt": attempt,
+                "worker": self.worker,
             }
         )
 
@@ -175,6 +224,27 @@ class RunLedger:
                 "system": result.system,
                 "error": result.error,
                 "cached": result.cached,
+                "worker": self.worker,
+            },
+            sync=True,
+        )
+
+    def claim_event(
+        self, digest: str, label: str, generation: int, action: str
+    ) -> None:
+        """Claim-lifecycle audit record (claimed/takeover/released/lost).
+
+        Fsync'd: takeover accounting (the chaos suite's double-compute
+        audit) must survive the very worker crashes it documents.
+        """
+        self._append(
+            {
+                "event": "claim",
+                "digest": digest,
+                "label": label,
+                "worker": self.worker,
+                "generation": generation,
+                "action": action,
             },
             sync=True,
         )
@@ -203,6 +273,13 @@ def load_ledger(path: str | Path) -> LedgerState:
     Later records win (a re-run overwrites an earlier failure).  Torn or
     garbage lines — a crash mid-write — are counted and skipped, never
     fatal: the matching job simply reads as not-completed and re-runs.
+
+    Version contract: a ``sweep_start`` header declaring a
+    ``ledger_version`` **newer** than :data:`LEDGER_VERSION` raises
+    :class:`LedgerVersionError` — its records may carry shapes this
+    loader would silently misparse into wrong resume decisions.  Older
+    versions replay fine (accept-older), and unknown *event* kinds from
+    same-or-older versions are skipped without complaint.
     """
     path = Path(path)
     state = LedgerState()
@@ -217,7 +294,33 @@ def load_ledger(path: str | Path) -> LedgerState:
             continue
         event = record.get("event")
         digest = record.get("digest")
-        if event == "start" and isinstance(digest, str):
+        if event == "sweep_start":
+            declared = record.get("ledger_version")
+            if isinstance(declared, int):
+                if declared > LEDGER_VERSION:
+                    raise LedgerVersionError(
+                        f"ledger {path} was written by a newer runtime "
+                        f"(ledger_version {declared} > supported "
+                        f"{LEDGER_VERSION}); refusing to replay it — "
+                        "upgrade this installation or re-run the sweep "
+                        "with a fresh ledger"
+                    )
+                state.version = (
+                    declared
+                    if state.version is None
+                    else max(state.version, declared)
+                )
+        elif event == "claim" and isinstance(digest, str):
+            state.claims.append(
+                ClaimRecord(
+                    digest=digest,
+                    label=str(record.get("label", "")),
+                    worker=str(record.get("worker", "")),
+                    generation=int(record.get("generation", 1) or 1),
+                    action=str(record.get("action", "")),
+                )
+            )
+        elif event == "start" and isinstance(digest, str):
             state.attempts[digest] = state.attempts.get(digest, 0) + 1
             if digest not in state.entries or not state.entries[digest].completed:
                 state.entries[digest] = LedgerEntry(
@@ -226,6 +329,9 @@ def load_ledger(path: str | Path) -> LedgerState:
                     status="started",
                 )
         elif event == "finish" and isinstance(digest, str):
+            state.finish_counts[digest] = (
+                state.finish_counts.get(digest, 0) + 1
+            )
             seconds = record.get("seconds")
             energy = record.get("energy_j")
             state.entries[digest] = LedgerEntry(

@@ -1,0 +1,403 @@
+"""Merkle-manifested sweep artifacts: seal a grid, prove it later.
+
+A finished distributed sweep leaves its results scattered across the
+shared artifact cache — one checksummed envelope per cell.  The
+**manifest** turns that pile into a single verifiable object: one JSON
+file whose *leaves* bind each :func:`~repro.runtime.ledger.spec_digest`
+to the sha256 of its cached artifact payload, and whose **Merkle root**
+commits to the whole set at once.  Any worker can seal it (sealing only
+reads); anyone holding the manifest can later prove two properties
+without trusting the producer:
+
+* **completeness** — every cell of the declared grid has a leaf (the
+  manifest embeds the full spec of each leaf, so the grid is
+  re-derivable from the manifest alone, and ``verify`` can also be
+  handed an externally rebuilt spec list to cross-check against);
+* **integrity** — every leaf's artifact still exists in the cache and
+  still hashes to the manifested sha256.  Integrity reads go through
+  :meth:`~repro.runtime.cache.ArtifactCache.entry_checksum`, so a
+  corrupt entry is *quarantined* on the spot and reported by exact
+  spec_digest — the operator re-runs the sweep and only the quarantined
+  cells recompute.
+
+Format (``manifest_version`` 1): canonical JSON, one object::
+
+    {"manifest_version": 1, "cache_version": 2, "root": "<sha256>",
+     "grid": {"cells": N, "backends": [...], "apps": [...],
+              "graphs": [...], "scales": [...]},
+     "leaves": [{"spec_digest": ..., "label": ..., "cache_digest": ...,
+                 "artifact_sha256": ..., "fingerprint_sha256": ...,
+                 "spec": {...}}, ...]}
+
+Each leaf binds the artifact at two layers: ``artifact_sha256`` is the
+exact cached payload bytes (cheap to check, no unpickling), and
+``fingerprint_sha256`` hashes the result's deterministic-field
+fingerprint (:meth:`~repro.runtime.spec.JobResult.fingerprint`, which
+excludes wall time / cache provenance / retry counts).  A
+quarantined-and-recomputed cell produces new payload bytes but the same
+fingerprint — verification reports it as *recomputed*, not corrupt,
+because the byte-identity contract holds exactly where the runtime
+promises it.
+
+Leaves are sorted by ``spec_digest``; each leaf's hash is the sha256 of
+its canonical JSON encoding, and the root folds the leaf hashes pairwise
+(odd node promoted) — so any single-byte tamper of any leaf, and any
+added/dropped leaf, changes the root.  The file itself is published with
+the blessed tmp+fsync+rename helper and never mutated in place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.obs.log import get_logger
+
+from .atomicio import atomic_write_text
+from .cache import CACHE_VERSION, JOB_KIND, ArtifactCache
+from .ledger import spec_digest
+from .spec import JobResult, JobSpec
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "Manifest",
+    "ManifestError",
+    "VerifyReport",
+    "build_manifest",
+    "leaf_hash",
+    "load_manifest",
+    "merkle_root",
+    "seal_manifest",
+    "verify_manifest",
+]
+
+MANIFEST_VERSION = 1
+
+_log = get_logger("runtime.manifest")
+
+
+class ManifestError(ValueError):
+    """A manifest cannot be sealed or parsed (incomplete grid, bad file)."""
+
+
+def _canonical_json(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def leaf_hash(leaf: dict[str, Any]) -> str:
+    """Content hash of one leaf: sha256 of its canonical JSON."""
+    return hashlib.sha256(_canonical_json(leaf).encode("utf-8")).hexdigest()
+
+
+def merkle_root(hashes: Sequence[str]) -> str:
+    """Fold leaf hashes pairwise into one root commitment.
+
+    Level by level: ``parent = sha256(left + right)`` over the hex
+    digests; an odd trailing node is promoted unchanged.  The empty
+    set's root is ``sha256(b"")`` — a sealed-but-empty manifest is still
+    a definite statement.
+    """
+    if not hashes:
+        return hashlib.sha256(b"").hexdigest()
+    level = list(hashes)
+    while len(level) > 1:
+        nxt: list[str] = []
+        for i in range(0, len(level) - 1, 2):
+            pair = (level[i] + level[i + 1]).encode("ascii")
+            nxt.append(hashlib.sha256(pair).hexdigest())
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """A sealed (or loaded) manifest: grid metadata + leaves + root."""
+
+    root: str
+    leaves: tuple[dict[str, Any], ...]
+    grid: dict[str, Any]
+    manifest_version: int = MANIFEST_VERSION
+    cache_version: int = CACHE_VERSION
+
+    def leaf_for(self, digest: str) -> dict[str, Any] | None:
+        for leaf in self.leaves:
+            if leaf.get("spec_digest") == digest:
+                return leaf
+        return None
+
+    def spec_digests(self) -> set[str]:
+        return {str(leaf["spec_digest"]) for leaf in self.leaves}
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "manifest_version": self.manifest_version,
+            "cache_version": self.cache_version,
+            "root": self.root,
+            "grid": self.grid,
+            "leaves": list(self.leaves),
+        }
+
+
+@dataclass
+class VerifyReport:
+    """The outcome of one verification pass, by exact spec_digest.
+
+    ``missing`` — manifested artifact absent from the cache;
+    ``corrupt`` — artifact present but failed envelope verification
+    (it has already been quarantined by the check itself);
+    ``mismatched`` — artifact verifies internally but neither its
+    payload hash *nor* its deterministic fingerprint matches the leaf
+    (a genuinely different result was published under the same key);
+    ``recomputed`` — payload bytes differ (the cell was recomputed after
+    eviction/quarantine) but the deterministic fingerprint matches, so
+    the result is the same where the runtime promises byte-identity;
+    counts as ok;
+    ``unmanifested`` — grid cell (from an externally supplied spec list)
+    with no leaf;
+    ``root_ok`` — the recomputed Merkle root matches the sealed one.
+    """
+
+    root_ok: bool = True
+    missing: list[str] = field(default_factory=list)
+    corrupt: list[str] = field(default_factory=list)
+    mismatched: list[str] = field(default_factory=list)
+    recomputed: list[str] = field(default_factory=list)
+    unmanifested: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.root_ok
+            and not self.missing
+            and not self.corrupt
+            and not self.mismatched
+            and not self.unmanifested
+        )
+
+    def summary(self) -> str:
+        if self.ok:
+            note = (
+                f" ({len(self.recomputed)} recomputed, "
+                "fingerprints match)"
+                if self.recomputed
+                else ""
+            )
+            return f"manifest verified: root ok, all artifacts intact{note}"
+        parts: list[str] = []
+        if not self.root_ok:
+            parts.append("MERKLE ROOT MISMATCH (manifest tampered or torn)")
+        for name, digests in (
+            ("missing", self.missing),
+            ("corrupt (quarantined)", self.corrupt),
+            ("mismatched", self.mismatched),
+            ("unmanifested", self.unmanifested),
+        ):
+            if digests:
+                shown = ", ".join(sorted(digests)[:4])
+                more = len(digests) - min(len(digests), 4)
+                suffix = f" (+{more} more)" if more else ""
+                parts.append(f"{len(digests)} {name}: {shown}{suffix}")
+        return "; ".join(parts)
+
+
+def _fingerprint_sha(cache: ArtifactCache, spec: JobSpec) -> str | None:
+    """sha256 of the cached result's deterministic-field fingerprint.
+
+    Forces a disk read (evicting the memory tier first) so the
+    fingerprint attested is the one durably stored, not a stale
+    in-process copy.  ``None`` when the entry is missing, corrupt, or
+    not a :class:`~repro.runtime.spec.JobResult`.
+    """
+    key = spec.cache_key()
+    cache.evict_memory(JOB_KIND, key)
+    hit, value = cache.lookup(JOB_KIND, key)
+    if not hit or not isinstance(value, JobResult):
+        return None
+    return hashlib.sha256(value.fingerprint().encode("utf-8")).hexdigest()
+
+
+def _grid_meta(specs: Sequence[JobSpec]) -> dict[str, Any]:
+    return {
+        "cells": len(specs),
+        "backends": sorted({s.backend for s in specs}),
+        "apps": sorted({s.app for s in specs}),
+        "graphs": sorted({s.graph_name for s in specs}),
+        "scales": sorted({s.scale for s in specs}),
+    }
+
+
+def build_manifest(
+    specs: Sequence[JobSpec], cache: ArtifactCache
+) -> Manifest:
+    """Bind every grid cell's artifact into a sealed manifest value.
+
+    Read-only over the cache; raises :class:`ManifestError` naming the
+    spec_digests of any cells whose artifacts are missing or fail
+    verification — a manifest only ever attests to a *complete, intact*
+    grid.  (Corrupt entries found here are quarantined as a side effect,
+    so the fix is always: re-run the sweep, then seal again.)
+    """
+    leaves: list[dict[str, Any]] = []
+    unsealable: list[str] = []
+    for spec in specs:
+        digest = spec_digest(spec)
+        sha = cache.entry_checksum(JOB_KIND, spec.cache_key())
+        if sha is None:
+            unsealable.append(digest)
+            continue
+        fingerprint = _fingerprint_sha(cache, spec)
+        if fingerprint is None:
+            unsealable.append(digest)
+            continue
+        leaves.append(
+            {
+                "spec_digest": digest,
+                "label": spec.label(),
+                "cache_digest": cache.digest(spec.cache_key()),
+                "artifact_sha256": sha,
+                "fingerprint_sha256": fingerprint,
+                "spec": asdict(spec),
+            }
+        )
+    if unsealable:
+        shown = ", ".join(sorted(unsealable)[:4])
+        more = len(unsealable) - min(len(unsealable), 4)
+        suffix = f" (+{more} more)" if more else ""
+        raise ManifestError(
+            f"cannot seal: {len(unsealable)} cell(s) have missing or "
+            f"invalid artifacts: {shown}{suffix}; finish the sweep "
+            "(or recompute quarantined cells) and seal again"
+        )
+    leaves.sort(key=lambda leaf: str(leaf["spec_digest"]))
+    root = merkle_root([leaf_hash(leaf) for leaf in leaves])
+    return Manifest(
+        root=root, leaves=tuple(leaves), grid=_grid_meta(specs)
+    )
+
+
+def seal_manifest(
+    path: str | Path, specs: Sequence[JobSpec], cache: ArtifactCache
+) -> Manifest:
+    """Build and atomically publish the manifest for ``specs``."""
+    manifest = build_manifest(specs, cache)
+    atomic_write_text(
+        Path(path),
+        json.dumps(manifest.as_dict(), sort_keys=True, indent=2) + "\n",
+    )
+    _log.info(
+        "sealed manifest %s: %d leaves, root %s",
+        path,
+        len(manifest.leaves),
+        manifest.root[:16],
+    )
+    return manifest
+
+
+def load_manifest(path: str | Path) -> Manifest:
+    """Parse a manifest file; reject unreadable or newer-versioned ones."""
+    path = Path(path)
+    try:
+        record = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ManifestError(f"unreadable manifest {path}: {exc}") from exc
+    if not isinstance(record, dict) or "leaves" not in record:
+        raise ManifestError(f"{path} is not a manifest")
+    declared = record.get("manifest_version")
+    if isinstance(declared, int) and declared > MANIFEST_VERSION:
+        raise ManifestError(
+            f"manifest {path} was sealed by a newer runtime "
+            f"(manifest_version {declared} > supported {MANIFEST_VERSION})"
+        )
+    leaves = record.get("leaves")
+    if not isinstance(leaves, list) or not all(
+        isinstance(leaf, dict) for leaf in leaves
+    ):
+        raise ManifestError(f"{path} has malformed leaves")
+    return Manifest(
+        root=str(record.get("root", "")),
+        leaves=tuple(leaves),
+        grid=dict(record.get("grid") or {}),
+        manifest_version=(
+            declared if isinstance(declared, int) else MANIFEST_VERSION
+        ),
+        cache_version=int(record.get("cache_version", CACHE_VERSION)),
+    )
+
+
+def verify_manifest(
+    manifest: Manifest,
+    cache: ArtifactCache,
+    specs: Sequence[JobSpec] | None = None,
+) -> VerifyReport:
+    """Prove (or disprove) a sealed manifest against the live cache.
+
+    Three checks, all reported by exact spec_digest:
+
+    1. the Merkle root recomputed from the leaves must equal the sealed
+       root (catches tampered/truncated manifest files);
+    2. every leaf's artifact must exist, verify internally (corrupt ones
+       are quarantined by the read itself), and hash to the manifested
+       ``artifact_sha256`` (catches silently swapped results);
+    3. with ``specs`` — the independently rebuilt grid — every cell must
+       have a leaf (catches a manifest sealed over a partial sweep).
+    """
+    report = VerifyReport()
+    report.root_ok = (
+        merkle_root([leaf_hash(leaf) for leaf in manifest.leaves])
+        == manifest.root
+    )
+    for leaf in manifest.leaves:
+        digest = str(leaf.get("spec_digest", ""))
+        try:
+            spec = JobSpec(
+                backend=str(leaf["spec"]["backend"]),
+                app=str(leaf["spec"]["app"]),
+                dataset=leaf["spec"].get("dataset"),
+                scale=str(leaf["spec"].get("scale", "small")),
+                graph_path=leaf["spec"].get("graph_path"),
+                config=tuple(
+                    (str(k), v) for k, v in leaf["spec"].get("config", ())
+                ),
+                params=tuple(
+                    (str(k), v) for k, v in leaf["spec"].get("params", ())
+                ),
+                seed=int(leaf["spec"].get("seed", 0)),
+            )
+        except (KeyError, TypeError, ValueError):
+            report.mismatched.append(digest or "<unparseable leaf>")
+            continue
+        before = cache.stats.quarantined
+        sha = cache.entry_checksum(JOB_KIND, spec.cache_key())
+        if sha is None:
+            if cache.stats.quarantined > before:
+                report.corrupt.append(digest)
+            else:
+                report.missing.append(digest)
+        elif sha != leaf.get("artifact_sha256"):
+            # Byte layer differs — the cell was republished (e.g.
+            # recomputed after quarantine).  Fall back to the semantic
+            # layer: matching deterministic fingerprints mean the same
+            # result, which is exactly what the manifest attests.
+            if (
+                _fingerprint_sha(cache, spec)
+                == leaf.get("fingerprint_sha256")
+            ):
+                report.recomputed.append(digest)
+            else:
+                report.mismatched.append(digest)
+    if specs is not None:
+        manifested = manifest.spec_digests()
+        for spec in specs:
+            digest = spec_digest(spec)
+            if digest not in manifested:
+                report.unmanifested.append(digest)
+    if report.ok:
+        _log.info("manifest verified: %d leaves intact", len(manifest.leaves))
+    else:
+        _log.warning("manifest verification failed: %s", report.summary())
+    return report

@@ -1,0 +1,308 @@
+"""The distributed sweep worker: claim → run → publish → release.
+
+``gramer sweep --workers N`` (or N hand-launched ``gramer worker``
+processes on one host / one shared filesystem) all point at the same
+three pieces of shared durable state:
+
+* the **claim directory** (:class:`~repro.runtime.claims.ClaimStore`) —
+  who is computing which cell right now;
+* the **run ledger** (:class:`~repro.runtime.ledger.RunLedger`) — every
+  worker appends to the same JSONL journal; whole-line appends are
+  atomic, so the merged journal replays cleanly;
+* the **artifact cache** (:class:`~repro.runtime.cache.ArtifactCache`)
+  — results transport between workers as checksummed cache entries, so
+  the cache is *required* (a distributed sweep without shared artifacts
+  would have nothing to hand the consumer).
+
+Each worker loops: replay the ledger, list the cells with no terminal
+outcome whose artifacts validate, try to claim one, re-check it is
+still unclaimed work after winning (the double-check closes the window
+between ledger replay and claim), run it with a heartbeat thread
+refreshing the lease, append the durable ``finish`` record, release the
+claim.  A worker that dies mid-cell leaves a ``start`` record and a
+claim whose lease expires; a sibling takes the claim over (generation
++1) and re-runs the cell — the paper's work-stealing, one level up.
+When no claim can be had, the worker backs off with deterministic
+seeded jitter (:func:`~repro.runtime.claims.claim_backoff_s`), so
+contention never turns into a spin loop.
+
+Exit condition: every cell has a terminal outcome (``ok`` with a
+validating artifact, or ``failed`` — ``run_spec`` already spent the
+transient-retry budget, so a distributed worker does not re-run
+failures).  The worker summary says what *this* worker computed, how
+many takeovers it performed, and how many leases it lost.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.obs.log import get_logger
+
+from .cache import JOB_KIND, ArtifactCache, default_cache
+from .chaos import (
+    FaultPlan,
+    active_fault_plan,
+    claim_race_delay_s,
+    lease_expiry_stall_s,
+)
+from .claims import Claim, ClaimStore, claim_backoff_s
+from .executor import run_spec
+from .ledger import RunLedger, load_ledger, spec_digest
+from .retry import DEFAULT_RETRY, RetryPolicy
+from .spec import JobSpec
+
+__all__ = ["SweepWorker", "WorkerSummary"]
+
+_log = get_logger("runtime.worker")
+
+
+@dataclass
+class WorkerSummary:
+    """What one worker contributed to a shared sweep."""
+
+    worker: str
+    computed: list[str] = field(default_factory=list)  # labels this run
+    failed: list[str] = field(default_factory=list)
+    takeovers: int = 0
+    lost_leases: int = 0
+    claim_rounds: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+
+class _Heartbeat:
+    """Background lease refresher for one claimed cell.
+
+    Refreshes every ``interval_s`` until stopped; remembers whether any
+    refresh reported the lease lost (taken over), so the worker can
+    ledger the loss after the cell finishes.  ``suppressed`` heartbeats
+    (the ``lease-expiry`` chaos fault) skip the refresh entirely —
+    modelling a straggler that stopped talking without dying.
+    """
+
+    def __init__(
+        self, store: ClaimStore, claim: Claim, interval_s: float,
+        suppressed: bool = False,
+    ) -> None:
+        self._store = store
+        self._claim = claim
+        self._interval_s = interval_s
+        self._suppressed = suppressed
+        self._stop = threading.Event()
+        self._lost = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval_s):
+            if self._suppressed:
+                continue
+            if not self._store.refresh(self._claim):
+                self._lost.set()
+                return
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    @property
+    def lost(self) -> bool:
+        return self._lost.is_set()
+
+
+class SweepWorker:
+    """One process's share of a claim-coordinated sweep grid."""
+
+    def __init__(
+        self,
+        specs: Sequence[JobSpec],
+        ledger_path: str | Path,
+        claims_root: str | Path,
+        worker_id: str,
+        cache: ArtifactCache | None = None,
+        lease_s: float = 30.0,
+        retry: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
+        poll_cap_s: float = 1.0,
+    ) -> None:
+        self.specs = list(specs)
+        self.ledger_path = Path(ledger_path)
+        self.worker_id = worker_id
+        self.cache = cache if cache is not None else default_cache()
+        if not self.cache.use_disk:
+            raise ValueError(
+                "distributed sweep workers need a disk-backed cache: "
+                "results transport between workers as cache artifacts"
+            )
+        self.lease_s = lease_s
+        self.heartbeat_s = max(0.05, lease_s / 4.0)
+        self.retry = retry if retry is not None else DEFAULT_RETRY
+        self.faults = faults if faults is not None else active_fault_plan()
+        self.poll_cap_s = poll_cap_s
+        self.claims = ClaimStore(claims_root, worker_id, lease_s=lease_s)
+        self._digests = {spec_digest(spec): spec for spec in self.specs}
+
+    # -- grid state ---------------------------------------------------------
+
+    def _artifact_valid(self, spec: JobSpec) -> bool:
+        return (
+            self.cache.entry_checksum(JOB_KIND, spec.cache_key()) is not None
+        )
+
+    def _remaining(self) -> list[tuple[str, JobSpec]]:
+        """Cells with no terminal outcome (or an ok outcome whose artifact
+        was evicted/quarantined — those re-enter circulation)."""
+        state = load_ledger(self.ledger_path)
+        out: list[tuple[str, JobSpec]] = []
+        for digest, spec in self._digests.items():
+            entry = state.entries.get(digest)
+            if entry is not None and entry.status == "failed":
+                continue
+            if (
+                entry is not None
+                and entry.completed
+                and self._artifact_valid(spec)
+            ):
+                continue
+            out.append((digest, spec))
+        return out
+
+    def _still_pending(self, digest: str, spec: JobSpec) -> bool:
+        """Post-claim double check: did someone finish it meanwhile?
+
+        Closes the window between ledger replay and claim acquisition —
+        this re-check *after* winning the claim is what makes zero
+        steady-state double-computes a property, not a probability.
+        """
+        entry = load_ledger(self.ledger_path).entries.get(digest)
+        if entry is None:
+            return True
+        if entry.status == "failed":
+            return False
+        return not (entry.completed and self._artifact_valid(spec))
+
+    # -- one cell -----------------------------------------------------------
+
+    def _run_cell(
+        self, ledger: RunLedger, claim: Claim, spec: JobSpec,
+        summary: WorkerSummary,
+    ) -> None:
+        label = spec.label()
+        stall_s = lease_expiry_stall_s(self.faults, label)
+        with _Heartbeat(
+            self.claims, claim, self.heartbeat_s, suppressed=stall_s > 0
+        ) as heartbeat:
+            if stall_s > 0:
+                _log.warning(
+                    "chaos: stalling %s for %.2fs with heartbeat "
+                    "suppressed (lease %.2fs)",
+                    label,
+                    stall_s,
+                    self.lease_s,
+                )
+                time.sleep(stall_s)
+            ledger.job_started(spec, attempt=1)
+            result = run_spec(
+                spec,
+                use_cache=True,
+                cache=self.cache,
+                retry=self.retry,
+                faults=self.faults,
+            )
+            ledger.job_finished(result)
+        if heartbeat.lost:
+            summary.lost_leases += 1
+            ledger.claim_event(
+                claim.digest, label, claim.generation, "lost"
+            )
+            _log.warning(
+                "lease lost mid-run for %s; duplicate result is "
+                "byte-identical by the determinism contract",
+                label,
+            )
+        elif self.claims.release(claim):
+            ledger.claim_event(
+                claim.digest, label, claim.generation, "released"
+            )
+        if result.ok:
+            summary.computed.append(label)
+        else:
+            summary.failed.append(label)
+
+    # -- the loop -----------------------------------------------------------
+
+    def run(self) -> WorkerSummary:
+        start = time.perf_counter()
+        summary = WorkerSummary(worker=self.worker_id)
+        ledger = RunLedger(self.ledger_path, worker=self.worker_id)
+        ledger.sweep_started(
+            total=len(self.specs), note=f"worker {self.worker_id}"
+        )
+        idle_rounds = 0
+        try:
+            while True:
+                remaining = self._remaining()
+                if not remaining:
+                    break
+                summary.claim_rounds += 1
+                progressed = False
+                for digest, spec in remaining:
+                    label = spec.label()
+                    delay = claim_race_delay_s(self.faults, label)
+                    if delay > 0:
+                        time.sleep(delay)
+                    claim = self.claims.try_acquire(digest, label)
+                    if claim is None:
+                        continue
+                    if claim.generation > 1:
+                        summary.takeovers += 1
+                        ledger.claim_event(
+                            digest, label, claim.generation, "takeover"
+                        )
+                    else:
+                        ledger.claim_event(digest, label, 1, "claimed")
+                    if not self._still_pending(digest, spec):
+                        # Finished elsewhere between replay and claim.
+                        if self.claims.release(claim):
+                            ledger.claim_event(
+                                digest, label, claim.generation, "released"
+                            )
+                        continue
+                    self._run_cell(ledger, claim, spec, summary)
+                    progressed = True
+                if progressed:
+                    idle_rounds = 0
+                    continue
+                # Everything left is claimed by siblings: bounded,
+                # deterministically jittered wait before re-checking.
+                idle_rounds += 1
+                time.sleep(
+                    claim_backoff_s(
+                        self.worker_id, idle_rounds, cap_s=self.poll_cap_s
+                    )
+                )
+        finally:
+            ledger.close()
+        summary.wall_seconds = time.perf_counter() - start
+        _log.info(
+            "worker %s done: %d computed, %d failed, %d takeovers, "
+            "%d lost leases in %.2fs",
+            self.worker_id,
+            len(summary.computed),
+            len(summary.failed),
+            summary.takeovers,
+            summary.lost_leases,
+            summary.wall_seconds,
+        )
+        return summary

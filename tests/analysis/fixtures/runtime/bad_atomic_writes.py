@@ -1,0 +1,64 @@
+"""Known-bad corpus for GRM802: non-atomic writes to shared runtime state.
+
+This file lives under a ``runtime/`` path on purpose — GRM802 scopes
+itself to the runtime package, where written files are shared durable
+state (cache envelopes, claim files, manifests) read by concurrent sweep
+workers.  Every flagged shape below tears under crash or contention; the
+``# allowed`` shapes are the blessed alternatives and must NOT fire.
+"""
+
+import json
+import os
+from pathlib import Path
+
+
+def clobber_with_open(path, payload):
+    with open(path, "w") as handle:  # GRM802: write-in-place
+        handle.write(json.dumps(payload))
+
+
+def clobber_binary(path, data):
+    handle = open(path, "wb")  # GRM802: write-in-place
+    handle.write(data)
+    handle.close()
+
+
+def clobber_keyword_mode(path, text):
+    with open(path, mode="w+", encoding="utf-8") as handle:  # GRM802
+        handle.write(text)
+
+
+def clobber_write_text(path, text):
+    Path(path).write_text(text)  # GRM802: no tmp+fsync+rename
+
+
+def clobber_write_bytes(path, data):
+    Path(path).write_bytes(data)  # GRM802: no tmp+fsync+rename
+
+
+def journal_append(path, line):
+    # allowed: append-mode journal handle, one write() per whole line
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+
+
+def read_back(path):
+    # allowed: reads never tear writers
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def claim_create(path, text):
+    # allowed: O_CREAT|O_EXCL is the blessed claim primitive
+    fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+    try:
+        os.write(fd, text.encode("utf-8"))
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def computed_mode(path, mode, text):
+    # allowed: non-literal mode is outside conservative scope
+    with open(path, mode) as handle:
+        handle.write(text)

@@ -20,6 +20,7 @@ CORPUS = {
     "bad_engine_selection.py": {"GRM701"},
     "bad_turbo_timing.py": {"GRM702"},
     "bad_resilience.py": {"GRM801"},
+    "runtime/bad_atomic_writes.py": {"GRM802"},
     "bad_graph_store.py": {"GRM901"},
 }
 
@@ -120,6 +121,36 @@ class TestAllowedIdioms:
             assert not any(
                 comment_line <= f <= comment_line + 4 for f in flagged
             )
+
+    def test_atomic_write_sanctioned_shapes_allowed(self):
+        """Append journals, reads, O_EXCL creates, and computed modes
+        must all pass GRM802; exactly the five write-in-place shapes
+        fire."""
+        fixture = "runtime/bad_atomic_writes.py"
+        source = (FIXTURES / fixture).read_text()
+        allowed = [
+            i
+            for i, line in enumerate(source.splitlines(), start=1)
+            if "# allowed" in line
+        ]
+        assert allowed  # the fixture documents its sanctioned idioms
+        flagged = self._lines(fixture, "GRM802")
+        assert len(flagged) == 5
+        for comment_line in allowed:
+            assert not any(
+                comment_line <= f <= comment_line + 6 for f in flagged
+            )
+
+    def test_grm802_scoped_to_runtime_paths(self):
+        """The same bad shapes outside a runtime/ path are not GRM802's
+        business (other rules may still apply)."""
+        from repro.analysis import check_source
+
+        source = 'from pathlib import Path\nPath("x").write_text("y")\n'
+        findings = check_source(
+            source, path="src/repro/obs/report_writer.py"
+        )
+        assert not any(f.rule_id == "GRM802" for f in findings)
 
     def test_scalar_submission_allowed(self):
         source = (FIXTURES / "bad_crossproc.py").read_text()

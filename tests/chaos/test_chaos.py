@@ -239,3 +239,94 @@ class TestInterruptedSweep:
         assert not state.is_completed(specs[1])  # in flight: start only
         assert state.attempts[spec_digest(specs[1])] == 1
         assert state.entry_for(specs[2]) is None  # never started
+
+
+class TestResumeVerifiesCachedArtifacts:
+    """``--resume`` must not trust an ``ok`` ledger line on faith.
+
+    A ledger can mark a cell ``ok`` while its cached artifact has since
+    been deleted or corrupted (disk cleanup, quarantine, a partial
+    rsync).  With the cache enabled, resume cross-checks each ``ok``
+    digest against the artifact checksum and re-runs cells whose
+    artifact is gone — otherwise downstream ``manifest seal`` would have
+    nothing to bind.
+    """
+
+    APPS = ["3-CF"]
+    DATASETS = ["citeseer"]
+    BACKENDS = ["gramer", "fractal"]
+    VICTIM = "gramer:3-CF@citeseer/tiny"
+
+    @pytest.fixture
+    def private_cache(self, tmp_path):
+        """A per-test default cache so entry deletion is observable."""
+        import os
+
+        from repro.runtime.cache import reset_default_cache
+
+        previous = os.environ.get("GRAMER_CACHE_DIR")
+        os.environ["GRAMER_CACHE_DIR"] = str(tmp_path / "cache")
+        reset_default_cache()
+        yield
+        if previous is None:
+            os.environ.pop("GRAMER_CACHE_DIR", None)
+        else:
+            os.environ["GRAMER_CACHE_DIR"] = previous
+        reset_default_cache()
+
+    def _sweep(self, ledger, resume=None):
+        from repro.cli import main
+
+        argv = [
+            "sweep",
+            "--apps", *self.APPS,
+            "--datasets", *self.DATASETS,
+            "--backends", *self.BACKENDS,
+            "--scale", "tiny",
+            "--jobs", "1",
+            "--retries", "1",
+            "--ledger", str(ledger),
+        ]
+        if resume is not None:
+            argv += ["--resume", str(resume)]
+        return main(argv)
+
+    def _grid_specs(self):
+        from repro.experiments.harness import cell_jobspec
+
+        return {
+            f"{backend}:{app}@{graph}/tiny": cell_jobspec(
+                backend, app, graph, "tiny"
+            )
+            for app in self.APPS
+            for graph in self.DATASETS
+            for backend in self.BACKENDS
+        }
+
+    def test_ok_cell_with_deleted_artifact_reruns_on_resume(
+        self, tmp_path, private_cache, capsys
+    ):
+        from repro.runtime import JOB_KIND, default_cache
+
+        ledger = tmp_path / "sweep.jsonl"
+        self._sweep(ledger)  # clean pass: every cell ok and cached
+        capsys.readouterr()
+
+        specs = self._grid_specs()
+        entry = default_cache().entry_path(
+            JOB_KIND, specs[self.VICTIM].cache_key()
+        )
+        assert entry.exists()
+        entry.unlink()  # the ledger still says ok; the artifact is gone
+
+        self._sweep(ledger, resume=ledger)  # no SystemExit: all cells ok
+        out = capsys.readouterr().out
+        assert "re-running" in out and self.VICTIM in out
+
+        state = load_ledger(ledger)
+        for label, spec in specs.items():
+            assert state.is_completed(spec)
+            expected = 2 if label == self.VICTIM else 1
+            assert state.attempts[spec_digest(spec)] == expected, label
+        # The resumed run restored the artifact the ledger promised.
+        assert entry.exists()

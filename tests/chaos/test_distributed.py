@@ -1,0 +1,169 @@
+"""Distributed-sweep chaos: kills, expired leases, and claim races.
+
+The acceptance contract for the distributed layer (docs/resilience.md):
+three real ``gramer worker`` processes sharing one ledger, one claim
+directory, and one artifact cache — with one worker SIGKILLed mid-cell,
+one stalling past its lease with the heartbeat suppressed, and claim
+races widened on every acquisition — must converge to results
+byte-identical to a fault-free single-worker sweep, with zero
+steady-state double-computes and at least one audited lease takeover.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.runtime import (
+    ArtifactCache,
+    load_ledger,
+    make_jobspec,
+    run_spec,
+    spec_digest,
+)
+
+APPS = ["3-CF"]
+DATASETS = ["citeseer", "p2p"]
+BACKENDS = ["gramer", "fractal", "rstream"]
+TINY_GRID = [
+    make_jobspec(backend, "3-CF", dataset=graph, scale="tiny")
+    for graph in DATASETS
+    for backend in BACKENDS
+]
+
+LEASE_S = 1.0
+_SRC = Path(repro.__file__).resolve().parent.parent
+
+
+def _worker_env(cache_root, faults):
+    env = dict(os.environ)
+    env["GRAMER_CACHE_DIR"] = str(cache_root)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(_SRC)] + [p for p in [env.get("PYTHONPATH")] if p]
+    )
+    if faults:
+        env["GRAMER_FAULTS"] = faults
+    else:
+        env.pop("GRAMER_FAULTS", None)
+    return env
+
+
+def _spawn_worker(worker_id, ledger, claims, cache_root, faults=""):
+    command = [
+        sys.executable, "-m", "repro.cli", "worker",
+        "--apps", *APPS,
+        "--datasets", *DATASETS,
+        "--backends", *BACKENDS,
+        "--scale", "tiny",
+        "--ledger", str(ledger),
+        "--claims", str(claims),
+        "--lease", str(LEASE_S),
+        "--retries", "1",
+        "--worker-id", worker_id,
+    ]
+    return subprocess.Popen(
+        command,
+        env=_worker_env(cache_root, faults),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+class TestDistributedChaosConverges:
+    def test_kill_lease_expiry_and_claim_races_converge(self, tmp_path):
+        """The headline distributed-chaos scenario.
+
+        * ``w1`` SIGKILLs itself inside its first claimed cell (fault
+          ``kill@1``) — its claim must expire and be taken over;
+        * ``w2`` suppresses its heartbeat and stalls 1.6s (> lease) in
+          every cell it claims (``lease-expiry``) — siblings steal its
+          cells mid-run and its late finishes are benign duplicates;
+        * ``w2``/``w3`` delay before every claim attempt
+          (``claim-race``) so contending acquisitions pile onto the
+          same cells (and the undelayed ``w1`` reliably claims first).
+        """
+        ledger = tmp_path / "run.jsonl"
+        claims = tmp_path / "claims"
+        shared = tmp_path / "shared-cache"
+        workers = [
+            _spawn_worker("w1", ledger, claims, shared, "kill@1"),
+            _spawn_worker(
+                "w2", ledger, claims, shared,
+                "claim-race:0.1@1;lease-expiry:1.6@1",
+            ),
+            _spawn_worker("w3", ledger, claims, shared, "claim-race:0.1@1"),
+        ]
+        codes = [proc.wait(timeout=120) for proc in workers]
+
+        # w1 died by its own injected SIGKILL; the survivors exited clean.
+        assert codes[0] == -9
+        assert codes[1] == 0 and codes[2] == 0
+
+        state = load_ledger(ledger)
+        digests = {spec_digest(spec): spec for spec in TINY_GRID}
+
+        # Convergence: every cell terminal and ok despite the carnage.
+        assert state.completed_digests() == set(digests)
+
+        # ≥1 takeover, audited in the ledger with a bumped generation.
+        takeovers = state.takeover_digests()
+        assert takeovers
+        assert all(
+            c.generation >= 2
+            for c in state.claims
+            if c.action == "takeover"
+        )
+
+        # Zero steady-state double-computes: any cell whose claim
+        # history is free of takeover/lost events ran exactly once.
+        disturbed = takeovers | {
+            c.digest for c in state.claims if c.action == "lost"
+        }
+        for digest in set(digests) - disturbed:
+            assert state.finish_counts[digest] == 1, digest
+
+        # A killed/stolen cell may legitimately finish twice (straggler
+        # duplicate) but never more than once per involved worker.
+        for digest in disturbed:
+            assert state.finish_counts[digest] <= 2, digest
+
+        # All claims were released or superseded: the directory drains.
+        leftovers = [
+            p for p in claims.iterdir() if p.name.endswith(".claim")
+        ]
+        assert leftovers == []
+
+        # Byte-identity: the shared cache's artifacts fingerprint-match
+        # a fault-free single-worker sweep in a pristine cache.
+        shared_cache = ArtifactCache(root=shared)
+        clean_cache = ArtifactCache(root=tmp_path / "clean-cache")
+        for spec in TINY_GRID:
+            distributed = run_spec(spec, cache=shared_cache)
+            assert distributed.cached  # served, not recomputed
+            clean = run_spec(spec, cache=clean_cache)
+            assert distributed.fingerprint() == clean.fingerprint()
+
+    def test_fault_free_workers_share_without_overlap(self, tmp_path):
+        """Steady state: two clean workers, each cell computed once."""
+        ledger = tmp_path / "run.jsonl"
+        claims = tmp_path / "claims"
+        shared = tmp_path / "shared-cache"
+        workers = [
+            _spawn_worker("w1", ledger, claims, shared),
+            _spawn_worker("w2", ledger, claims, shared),
+        ]
+        codes = [proc.wait(timeout=120) for proc in workers]
+        assert codes == [0, 0]
+
+        state = load_ledger(ledger)
+        digests = {spec_digest(spec) for spec in TINY_GRID}
+        assert state.completed_digests() == digests
+        assert not state.takeover_digests()
+        for digest in digests:
+            assert state.finish_counts[digest] == 1, digest
+        # Every claim in the audit trail belongs to a known worker and
+        # was cleanly acquired/released — no takeovers, no losses.
+        assert {c.worker for c in state.claims} <= {"w1", "w2"}
+        assert {c.action for c in state.claims} <= {"claimed", "released"}
+        assert state.claims

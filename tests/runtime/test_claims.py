@@ -1,0 +1,165 @@
+"""Lease-based claims: exclusivity, takeover, heartbeat, lost leases."""
+
+import os
+import threading
+
+import pytest
+
+from repro.runtime import ClaimStore, claim_backoff_s
+
+DIGEST = "a" * 64
+LABEL = "gramer:3-CF@citeseer/tiny"
+
+
+def age_claim(store, digest, seconds):
+    """Backdate a claim file's mtime so its lease reads as expired."""
+    path = store.path_for(digest)
+    stat = path.stat()
+    os.utime(path, (stat.st_atime - seconds, stat.st_mtime - seconds))
+
+
+class TestAcquire:
+    def test_first_acquire_wins_and_persists(self, tmp_path):
+        store = ClaimStore(tmp_path / "claims", "w1", lease_s=30.0)
+        claim = store.try_acquire(DIGEST, LABEL)
+        assert claim is not None
+        assert claim.worker == "w1" and claim.generation == 1
+        held = store.holder(DIGEST)
+        assert held is not None
+        assert held["worker"] == "w1" and held["label"] == LABEL
+
+    def test_second_worker_is_refused_while_lease_lives(self, tmp_path):
+        root = tmp_path / "claims"
+        ClaimStore(root, "w1", lease_s=30.0).try_acquire(DIGEST, LABEL)
+        assert ClaimStore(root, "w2", lease_s=30.0).try_acquire(
+            DIGEST, LABEL
+        ) is None
+
+    def test_many_threads_exactly_one_winner(self, tmp_path):
+        """O_EXCL under real concurrency: N racers, one claim."""
+        root = tmp_path / "claims"
+        winners = []
+        barrier = threading.Barrier(8)
+
+        def racer(name):
+            store = ClaimStore(root, name, lease_s=30.0)
+            barrier.wait()
+            if store.try_acquire(DIGEST, LABEL) is not None:
+                winners.append(name)
+
+        threads = [
+            threading.Thread(target=racer, args=(f"w{i}",))
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(winners) == 1
+
+    def test_release_frees_the_cell(self, tmp_path):
+        root = tmp_path / "claims"
+        store = ClaimStore(root, "w1", lease_s=30.0)
+        claim = store.try_acquire(DIGEST, LABEL)
+        assert store.release(claim)
+        other = ClaimStore(root, "w2", lease_s=30.0)
+        reclaim = other.try_acquire(DIGEST, LABEL)
+        assert reclaim is not None and reclaim.generation == 1
+
+    def test_lease_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            ClaimStore(tmp_path, "w1", lease_s=0.0)
+
+
+class TestTakeover:
+    def test_expired_lease_is_taken_over_with_bumped_generation(
+        self, tmp_path
+    ):
+        root = tmp_path / "claims"
+        straggler = ClaimStore(root, "w1", lease_s=5.0)
+        straggler.try_acquire(DIGEST, LABEL)
+        age_claim(straggler, DIGEST, 60.0)
+        thief = ClaimStore(root, "w2", lease_s=5.0)
+        stolen = thief.try_acquire(DIGEST, LABEL)
+        assert stolen is not None
+        assert stolen.worker == "w2" and stolen.generation == 2
+        held = thief.holder(DIGEST)
+        assert held["worker"] == "w2" and held["generation"] == 2
+
+    def test_fresh_lease_cannot_be_taken_over(self, tmp_path):
+        root = tmp_path / "claims"
+        owner = ClaimStore(root, "w1", lease_s=3600.0)
+        owner.try_acquire(DIGEST, LABEL)
+        assert ClaimStore(root, "w2", lease_s=3600.0).try_acquire(
+            DIGEST, LABEL
+        ) is None
+
+    def test_takeover_leaves_no_graveyard_debris(self, tmp_path):
+        root = tmp_path / "claims"
+        straggler = ClaimStore(root, "w1", lease_s=5.0)
+        straggler.try_acquire(DIGEST, LABEL)
+        age_claim(straggler, DIGEST, 60.0)
+        ClaimStore(root, "w2", lease_s=5.0).try_acquire(DIGEST, LABEL)
+        assert sorted(p.name for p in root.iterdir()) == [
+            f"{DIGEST}.claim"
+        ]
+
+    def test_corrupt_claim_file_is_still_takeover_eligible(self, tmp_path):
+        """A torn claim (crash mid-ancient-write) must not wedge the cell."""
+        root = tmp_path / "claims"
+        straggler = ClaimStore(root, "w1", lease_s=5.0)
+        straggler.try_acquire(DIGEST, LABEL)
+        store_path = straggler.path_for(DIGEST)
+        store_path.write_text("{not json")
+        age_claim(straggler, DIGEST, 60.0)
+        stolen = ClaimStore(root, "w2", lease_s=5.0).try_acquire(
+            DIGEST, LABEL
+        )
+        assert stolen is not None and stolen.generation == 2
+
+
+class TestHeartbeatAndLoss:
+    def test_refresh_bumps_the_lease_clock(self, tmp_path):
+        store = ClaimStore(tmp_path / "claims", "w1", lease_s=5.0)
+        claim = store.try_acquire(DIGEST, LABEL)
+        age_claim(store, DIGEST, 60.0)
+        assert store.refresh(claim)
+        # A refreshed claim is no longer expired: takeover is refused.
+        assert ClaimStore(
+            tmp_path / "claims", "w2", lease_s=5.0
+        ).try_acquire(DIGEST, LABEL) is None
+
+    def test_refresh_detects_lost_lease_and_does_not_resurrect(
+        self, tmp_path
+    ):
+        root = tmp_path / "claims"
+        straggler = ClaimStore(root, "w1", lease_s=5.0)
+        claim = straggler.try_acquire(DIGEST, LABEL)
+        age_claim(straggler, DIGEST, 60.0)
+        thief = ClaimStore(root, "w2", lease_s=5.0)
+        assert thief.try_acquire(DIGEST, LABEL) is not None
+        assert not straggler.refresh(claim)  # reports the loss...
+        held = straggler.holder(DIGEST)
+        assert held["worker"] == "w2"  # ...and never overwrites the thief
+
+    def test_release_of_lost_lease_is_a_noop(self, tmp_path):
+        root = tmp_path / "claims"
+        straggler = ClaimStore(root, "w1", lease_s=5.0)
+        claim = straggler.try_acquire(DIGEST, LABEL)
+        age_claim(straggler, DIGEST, 60.0)
+        thief = ClaimStore(root, "w2", lease_s=5.0)
+        thief.try_acquire(DIGEST, LABEL)
+        assert not straggler.release(claim)
+        assert straggler.holder(DIGEST)["worker"] == "w2"
+
+
+class TestBackoff:
+    def test_backoff_is_deterministic_per_token(self):
+        assert claim_backoff_s("w1", 3) == claim_backoff_s("w1", 3)
+        assert claim_backoff_s("w1", 3) != claim_backoff_s("w2", 3)
+
+    def test_backoff_grows_then_caps(self):
+        small = claim_backoff_s("w1", 1, base_s=0.05, cap_s=1.0)
+        assert small < 0.1
+        capped = claim_backoff_s("w1", 20, base_s=0.05, cap_s=1.0)
+        assert capped <= 1.5  # cap × max jitter factor

@@ -2,7 +2,11 @@
 
 import json
 
+import pytest
+
 from repro.runtime import (
+    LEDGER_VERSION,
+    LedgerVersionError,
     RunLedger,
     load_ledger,
     make_jobspec,
@@ -121,6 +125,127 @@ class TestCrashTolerance:
         for line in lines:
             record = json.loads(line)  # every line parses standalone
             assert isinstance(record, dict) and "event" in record
+
+
+class TestVersioning:
+    """Reject-newer / accept-older: the ledger_version header contract."""
+
+    def test_header_declares_current_version(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.sweep_started(total=1)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["ledger_version"] == LEDGER_VERSION
+        assert load_ledger(path).version == LEDGER_VERSION
+
+    def test_newer_version_is_rejected_with_clear_error(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        header = {
+            "event": "sweep_start",
+            "ledger_version": LEDGER_VERSION + 1,
+            "total": 1,
+            "note": "",
+        }
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(LedgerVersionError) as excinfo:
+            load_ledger(path)
+        message = str(excinfo.value)
+        assert str(LEDGER_VERSION + 1) in message
+        assert str(LEDGER_VERSION) in message
+        assert "future.jsonl" in message
+
+    def test_older_version_replays_fine(self, tmp_path):
+        """A v1 ledger (no worker/claim records) must keep resuming."""
+        path = tmp_path / "v1.jsonl"
+        digest = spec_digest(SPEC_A)
+        records = [
+            {"event": "sweep_start", "ledger_version": 1, "total": 1,
+             "note": ""},
+            {"event": "start", "digest": digest,
+             "label": SPEC_A.label(), "attempt": 1},
+            {"event": "finish", "digest": digest,
+             "label": SPEC_A.label(), "status": "ok", "retries": 0,
+             "wall_seconds": 0.01, "seconds": 1.0, "energy_j": 0.1,
+             "system": "GRAMER", "error": None, "cached": False},
+        ]
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        state = load_ledger(path)
+        assert state.version == 1
+        assert state.is_completed(SPEC_A)
+
+    def test_versionless_seed_ledger_replays_fine(self, tmp_path):
+        """Pre-versioning ledgers have no header field at all."""
+        path = tmp_path / "v0.jsonl"
+        digest = spec_digest(SPEC_A)
+        records = [
+            {"event": "sweep_start", "total": 1, "note": ""},
+            {"event": "finish", "digest": digest,
+             "label": SPEC_A.label(), "status": "ok", "retries": 0,
+             "wall_seconds": 0.01, "seconds": 1.0, "energy_j": 0.1,
+             "system": "GRAMER", "error": None, "cached": False},
+        ]
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        state = load_ledger(path)
+        assert state.version is None
+        assert state.is_completed(SPEC_A)
+
+    def test_unknown_event_kinds_are_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.job_finished(ok_result(SPEC_A))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps({"event": "telemetry", "digest": "zzz"}) + "\n"
+            )
+        state = load_ledger(path)
+        assert state.is_completed(SPEC_A)
+        assert state.truncated_lines == 0  # unknown ≠ garbage
+
+
+class TestClaimRecords:
+    def test_claim_lifecycle_replays_into_audit_trail(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        digest = spec_digest(SPEC_A)
+        with RunLedger(path, worker="w1") as ledger:
+            ledger.claim_event(digest, SPEC_A.label(), 1, "claimed")
+        with RunLedger(path, worker="w2") as ledger:
+            ledger.claim_event(digest, SPEC_A.label(), 2, "takeover")
+            ledger.job_started(SPEC_A, attempt=1)
+            ledger.job_finished(ok_result(SPEC_A))
+            ledger.claim_event(digest, SPEC_A.label(), 2, "released")
+        state = load_ledger(path)
+        assert [c.action for c in state.claims] == [
+            "claimed", "takeover", "released",
+        ]
+        assert state.claims[1].worker == "w2"
+        assert state.claims[1].generation == 2
+        assert state.takeover_digests() == {digest}
+        assert state.finish_counts[digest] == 1
+
+    def test_worker_provenance_lands_in_records(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLedger(path, worker="host-7") as ledger:
+            ledger.job_started(SPEC_A, attempt=1)
+            ledger.job_finished(ok_result(SPEC_A))
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert all(r["worker"] == "host-7" for r in records)
+
+    def test_terminal_digests_cover_ok_and_failed(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunLedger(path) as ledger:
+            ledger.job_finished(ok_result(SPEC_A))
+            ledger.job_finished(failed_result(SPEC_B, "ValueError: perm"))
+        state = load_ledger(path)
+        assert state.terminal_digests() == {
+            spec_digest(SPEC_A), spec_digest(SPEC_B),
+        }
+        assert state.completed_digests() == {spec_digest(SPEC_A)}
 
 
 class TestDigests:

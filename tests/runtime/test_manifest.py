@@ -1,0 +1,166 @@
+"""Merkle manifests: seal, load, verify, and every tamper route."""
+
+import json
+
+import pytest
+
+from repro.runtime import (
+    JOB_KIND,
+    ArtifactCache,
+    ManifestError,
+    build_manifest,
+    load_manifest,
+    make_jobspec,
+    run_spec,
+    seal_manifest,
+    spec_digest,
+    verify_manifest,
+)
+from repro.runtime.manifest import leaf_hash, merkle_root
+
+SPECS = [
+    make_jobspec("gramer", "3-CF", dataset="citeseer", scale="tiny"),
+    make_jobspec("fractal", "3-CF", dataset="citeseer", scale="tiny"),
+]
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(root=tmp_path / "cache")
+
+
+@pytest.fixture
+def full_cache(cache):
+    """A cache holding every SPECS artifact (a completed tiny sweep)."""
+    for spec in SPECS:
+        result = run_spec(spec, cache=cache)
+        assert result.ok
+    return cache
+
+
+class TestMerkle:
+    def test_empty_root_is_defined(self):
+        assert merkle_root([]) == merkle_root([])
+
+    def test_root_changes_with_any_leaf(self):
+        a = leaf_hash({"spec_digest": "x"})
+        b = leaf_hash({"spec_digest": "y"})
+        assert merkle_root([a, b]) != merkle_root([a])
+        assert merkle_root([a, b]) != merkle_root([b, a])
+
+    def test_odd_leaf_counts_fold(self):
+        hashes = [leaf_hash({"i": i}) for i in range(5)]
+        assert len(merkle_root(hashes)) == 64
+
+
+class TestSealRoundTrip:
+    def test_seal_then_load_preserves_everything(
+        self, tmp_path, full_cache
+    ):
+        path = tmp_path / "m.json"
+        sealed = seal_manifest(path, SPECS, full_cache)
+        loaded = load_manifest(path)
+        assert loaded.root == sealed.root
+        assert loaded.spec_digests() == {spec_digest(s) for s in SPECS}
+        assert loaded.grid["cells"] == len(SPECS)
+        assert sorted(loaded.grid["backends"]) == ["fractal", "gramer"]
+
+    def test_sealing_an_incomplete_grid_names_the_missing_cells(
+        self, cache
+    ):
+        result = run_spec(SPECS[0], cache=cache)
+        assert result.ok
+        with pytest.raises(ManifestError) as excinfo:
+            build_manifest(SPECS, cache)
+        assert spec_digest(SPECS[1]) in str(excinfo.value)
+
+    def test_newer_manifest_version_is_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({
+            "manifest_version": 99, "root": "", "grid": {}, "leaves": [],
+        }))
+        with pytest.raises(ManifestError):
+            load_manifest(path)
+
+    def test_garbage_file_is_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{torn")
+        with pytest.raises(ManifestError):
+            load_manifest(path)
+
+
+class TestVerify:
+    def test_intact_grid_verifies(self, tmp_path, full_cache):
+        path = tmp_path / "m.json"
+        manifest = seal_manifest(path, SPECS, full_cache)
+        report = verify_manifest(manifest, full_cache, SPECS)
+        assert report.ok and report.root_ok
+
+    def test_flipped_artifact_byte_names_the_exact_digest(
+        self, tmp_path, full_cache
+    ):
+        manifest = seal_manifest(tmp_path / "m.json", SPECS, full_cache)
+        victim = SPECS[0]
+        entry = full_cache.entry_path(JOB_KIND, victim.cache_key())
+        data = bytearray(entry.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        entry.write_bytes(bytes(data))
+        report = verify_manifest(manifest, full_cache, SPECS)
+        assert not report.ok
+        assert report.corrupt == [spec_digest(victim)]
+        # quarantine-and-recompute: the bad entry has been moved aside,
+        # so a re-run recomputes it rather than re-reading garbage.
+        assert not entry.exists()
+        assert full_cache.stats.quarantined == 1
+
+    def test_deleted_artifact_reports_missing(self, tmp_path, full_cache):
+        manifest = seal_manifest(tmp_path / "m.json", SPECS, full_cache)
+        victim = SPECS[1]
+        full_cache.entry_path(JOB_KIND, victim.cache_key()).unlink()
+        report = verify_manifest(manifest, full_cache, SPECS)
+        assert report.missing == [spec_digest(victim)]
+        assert not report.corrupt
+
+    def test_tampered_manifest_leaf_breaks_the_root(
+        self, tmp_path, full_cache
+    ):
+        path = tmp_path / "m.json"
+        seal_manifest(path, SPECS, full_cache)
+        record = json.loads(path.read_text())
+        record["leaves"][0]["artifact_sha256"] = "f" * 64
+        path.write_text(json.dumps(record))
+        report = verify_manifest(load_manifest(path), full_cache, SPECS)
+        assert not report.root_ok
+        assert not report.ok
+
+    def test_partial_manifest_fails_completeness_against_grid(
+        self, tmp_path, full_cache
+    ):
+        manifest = seal_manifest(
+            tmp_path / "m.json", SPECS[:1], full_cache
+        )
+        report = verify_manifest(manifest, full_cache, SPECS)
+        assert report.unmanifested == [spec_digest(SPECS[1])]
+        assert not report.ok
+
+    def test_recompute_after_quarantine_verifies_again(
+        self, tmp_path, full_cache
+    ):
+        """The full corruption loop: tamper → verify names it →
+        recompute → verify passes with the same sealed root."""
+        path = tmp_path / "m.json"
+        manifest = seal_manifest(path, SPECS, full_cache)
+        victim = SPECS[0]
+        entry = full_cache.entry_path(JOB_KIND, victim.cache_key())
+        data = bytearray(entry.read_bytes())
+        data[-3] ^= 0xFF
+        entry.write_bytes(bytes(data))
+        assert not verify_manifest(manifest, full_cache, SPECS).ok
+        rerun = run_spec(victim, cache=full_cache)
+        assert rerun.ok and not rerun.cached
+        report = verify_manifest(manifest, full_cache, SPECS)
+        # Bytes differ (fresh wall time) but the deterministic
+        # fingerprint matches: same result, reported as recomputed.
+        assert report.ok
+        assert report.recomputed == [spec_digest(victim)]
+        assert "recomputed" in report.summary()
